@@ -1,0 +1,102 @@
+//! Approximate membership query (AMQ) data structures for the approximate
+//! triangle counting extension of paper §IV-E.
+//!
+//! For type-3 triangles, CETRIC can send an AMQ `A'(v)` instead of the exact
+//! neighborhood `A(v)`; the receiver approximates `|A(u) ∩ A(v)|` by querying
+//! every member of `A(u)` against `A'(v)` and counting positives. AMQs never
+//! yield false negatives, so the count is an overestimate; subtracting the
+//! expected number of false positives yields the *truthful estimator* the
+//! paper describes.
+//!
+//! Two implementations are provided:
+//! * [`BloomFilter`] — the textbook `k`-hash-function filter.
+//! * [`SingleShotBloom`] — a blocked, single-probe-per-block variant in the
+//!   spirit of the cache-/space-efficient filters of Putze, Sanders &
+//!   Singler, which the paper's footnote 2 suggests as the more appropriate
+//!   choice (lower query cost, compact serialisation).
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod single_shot;
+
+pub use bloom::BloomFilter;
+pub use single_shot::SingleShotBloom;
+
+/// Common interface of the AMQs used by the approximate global phase.
+pub trait Amq {
+    /// Inserts a key.
+    fn insert(&mut self, key: u64);
+    /// Queries a key; false ⇒ definitely absent, true ⇒ probably present.
+    fn contains(&self, key: u64) -> bool;
+    /// The false-positive probability for keys *not* inserted, given the
+    /// current fill; used by the truthful estimator.
+    fn false_positive_rate(&self) -> f64;
+    /// Serialises to machine words for transmission (paper model: volume is
+    /// counted in words).
+    fn to_words(&self) -> Vec<u64>;
+}
+
+/// The truthful estimator of §IV-E: given `positives` hits out of `queries`
+/// probes against a filter with false-positive rate `fpr`, the expected
+/// positives are `true + (queries − true)·fpr`; solving for `true` corrects
+/// the overestimate.
+pub fn truthful_estimate(positives: u64, queries: u64, fpr: f64) -> f64 {
+    truthful_estimate_unclamped(positives, queries, fpr).max(0.0)
+}
+
+/// [`truthful_estimate`] without the clamp at zero. Per-query-batch
+/// corrections should use this and clamp only the *aggregate*: clamping each
+/// small batch at zero discards the negative half of the noise and biases
+/// the sum upward (Jensen).
+pub fn truthful_estimate_unclamped(positives: u64, queries: u64, fpr: f64) -> f64 {
+    if queries == 0 {
+        return 0.0;
+    }
+    if fpr >= 1.0 {
+        return positives as f64;
+    }
+    let pos = positives as f64;
+    let q = queries as f64;
+    (pos - q * fpr) / (1.0 - fpr)
+}
+
+/// 64-bit mix (SplitMix64 finaliser) used to derive the hash functions.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthful_estimate_corrects_overcount() {
+        // 100 queries, 28 positives, fpr 4%:
+        // E[pos] = t + (100−t)·0.04 = 28 → t = 25.
+        let est = truthful_estimate(28, 100, 0.04);
+        assert!((est - 25.0).abs() < 1e-9, "{est}");
+    }
+
+    #[test]
+    fn truthful_estimate_edge_cases() {
+        assert_eq!(truthful_estimate(0, 0, 0.5), 0.0);
+        assert_eq!(truthful_estimate(10, 10, 0.0), 10.0);
+        // all positives explained by noise → clamp at 0
+        assert_eq!(truthful_estimate(1, 100, 0.5), 0.0);
+        // degenerate saturated filter
+        assert_eq!(truthful_estimate(7, 10, 1.0), 7.0);
+    }
+
+    #[test]
+    fn mix64_spreads_bits() {
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

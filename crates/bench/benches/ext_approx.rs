@@ -1,0 +1,76 @@
+//! §IV-E extension: AMQ-approximate type-3 counting. Sweeps filter type and
+//! bits-per-key on GNM (everything is type-3) and an R-MAT proxy, reporting
+//! estimate error and global-phase volume vs exact CETRIC.
+
+use cetric::core::dist::approx::{approx, ApproxConfig, FilterKind};
+use cetric::core::seq;
+use cetric::prelude::*;
+use tricount_bench::{fmt_count, print_table, Row, Scale};
+
+fn global_volume(stats: &RunStats) -> u64 {
+    stats
+        .phases
+        .iter()
+        .filter(|ph| ph.name == "global")
+        .map(|ph| ph.total_volume())
+        .sum()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = 1u64 << (10 + scale.shift());
+    let p = 8;
+    let instances: [(&str, Csr); 2] = [
+        ("GNM", cetric::gen::gnm(n, 16 * n, 11)),
+        ("RMAT", cetric::gen::rmat_default(n.trailing_zeros(), 11)),
+    ];
+
+    for (name, g) in &instances {
+        let truth = seq::compact_forward(g).triangles;
+        let exact = count(g, p, Algorithm::Cetric).unwrap();
+        let ev = global_volume(&exact.stats);
+        println!(
+            "\ninstance {name}: n={} m={} triangles={truth}, exact global volume {}",
+            g.num_vertices(),
+            g.num_edges(),
+            fmt_count(ev)
+        );
+        let mut rows = Vec::new();
+        for filter in [FilterKind::Bloom, FilterKind::SingleShot] {
+            for bits in [4.0, 8.0, 12.0, 16.0] {
+                let r = approx(
+                    g,
+                    p,
+                    &DistConfig::default(),
+                    &ApproxConfig {
+                        bits_per_key: bits,
+                        filter,
+                    },
+                );
+                let err = 100.0 * (r.estimate - truth as f64).abs() / truth.max(1) as f64;
+                let av = global_volume(&r.stats);
+                rows.push(Row {
+                    label: format!("{filter:?} {bits}b/key"),
+                    cells: vec![
+                        format!("{:.1}", r.estimate),
+                        format!("{err:.2}%"),
+                        fmt_count(r.exact_local + r.type3_raw),
+                        fmt_count(av),
+                        format!("{:.2}x", av as f64 / ev as f64),
+                    ],
+                });
+            }
+        }
+        print_table(
+            &format!("approximate counting on {name} (p={p})"),
+            &["estimate", "error", "raw(over)", "volume", "vs exact"],
+            &rows,
+        );
+    }
+    println!(
+        "\nreading: the truthful estimator removes the AMQ's systematic \
+         overcount; volume drops below exact once neighborhoods are large \
+         relative to the filter, and single-shot filters are the more compact \
+         wire format (footnote 2 of the paper)."
+    );
+}

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the hot kernels: the set-intersection
+//! variants (§III / §III-C), the oriented preprocessing, the buffered
+//! message queue, and the Bloom filters of the approximate extension.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cetric::amq::{Amq, BloomFilter, SingleShotBloom};
+use cetric::core::seq;
+use cetric::graph::compressed::CompressedCsr;
+use cetric::graph::intersect::{binary_search_count, gallop_count, merge_count};
+use cetric::graph::ordering::{orient, relabel_by_degree, OrderingKind};
+
+fn lists(n: usize, stride_a: u64, stride_b: u64) -> (Vec<u64>, Vec<u64>) {
+    (
+        (0..n as u64).map(|i| i * stride_a).collect(),
+        (0..n as u64).map(|i| i * stride_b).collect(),
+    )
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intersect");
+    let (a, b) = lists(1024, 2, 3);
+    g.bench_function("merge/balanced", |bch| {
+        bch.iter(|| merge_count(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("bsearch/balanced", |bch| {
+        bch.iter(|| binary_search_count(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("gallop/balanced", |bch| {
+        bch.iter(|| gallop_count(black_box(&a), black_box(&b)))
+    });
+    let (small, _) = lists(16, 97, 1);
+    let large: Vec<u64> = (0..65536u64).collect();
+    g.bench_function("merge/skewed", |bch| {
+        bch.iter(|| merge_count(black_box(&small), black_box(&large)))
+    });
+    g.bench_function("bsearch/skewed", |bch| {
+        bch.iter(|| binary_search_count(black_box(&small), black_box(&large)))
+    });
+    g.bench_function("gallop/skewed", |bch| {
+        bch.iter(|| gallop_count(black_box(&small), black_box(&large)))
+    });
+    g.finish();
+}
+
+fn bench_sequential_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_count");
+    let graph = cetric::gen::rmat_default(12, 7);
+    g.bench_function("compact_forward/rmat12", |bch| {
+        bch.iter(|| seq::compact_forward(black_box(&graph)))
+    });
+    g.bench_function("edge_iterator_id/rmat12", |bch| {
+        bch.iter(|| seq::edge_iterator(black_box(&graph), OrderingKind::Id))
+    });
+    let compressed = CompressedCsr::from_csr(&graph);
+    g.bench_function("compact_forward_compressed/rmat12", |bch| {
+        bch.iter(|| seq::compact_forward_compressed(black_box(&compressed)))
+    });
+    g.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preprocess");
+    let graph = cetric::gen::rhg_default(1 << 12, 3);
+    g.bench_function("orient_degree", |bch| {
+        bch.iter(|| orient(black_box(&graph), OrderingKind::Degree))
+    });
+    g.bench_function("relabel_by_degree", |bch| {
+        bch.iter(|| relabel_by_degree(black_box(&graph)))
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("amq");
+    let keys: Vec<u64> = (0..256u64).map(|i| i * 7919).collect();
+    g.bench_function("bloom/build+query", |bch| {
+        bch.iter_batched(
+            || keys.clone(),
+            |keys| {
+                let mut f = BloomFilter::new(keys.len(), 8.0);
+                for &k in &keys {
+                    f.insert(k);
+                }
+                keys.iter().filter(|&&k| f.contains(k + 1)).count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("single_shot/build+query", |bch| {
+        bch.iter_batched(
+            || keys.clone(),
+            |keys| {
+                let mut f = SingleShotBloom::new(keys.len(), 8.0, 4);
+                for &k in &keys {
+                    f.insert(k);
+                }
+                keys.iter().filter(|&&k| f.contains(k + 1)).count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_distributed_end_to_end(c: &mut Criterion) {
+    // wall-clock of the whole simulated pipeline (not the modeled time):
+    // useful to track regressions of the simulator itself
+    let mut g = c.benchmark_group("dist_e2e");
+    g.sample_size(10);
+    let graph = cetric::gen::rgg2d_default(1 << 11, 5);
+    g.bench_function("cetric_p4/rgg2d_2k", |bch| {
+        bch.iter(|| {
+            cetric::core::count(black_box(&graph), 4, cetric::core::Algorithm::Cetric).unwrap()
+        })
+    });
+    g.bench_function("ditric_p4/rgg2d_2k", |bch| {
+        bch.iter(|| {
+            cetric::core::count(black_box(&graph), 4, cetric::core::Algorithm::Ditric).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intersections,
+    bench_sequential_counting,
+    bench_preprocessing,
+    bench_bloom,
+    bench_distributed_end_to_end
+);
+criterion_main!(benches);

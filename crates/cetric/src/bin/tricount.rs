@@ -1,0 +1,21 @@
+//! The `tricount` command-line tool: generate instances, count triangles
+//! with any algorithm variant on the simulated distributed machine, compute
+//! LCCs, enumerate triangles, inspect graph statistics.
+//!
+//! ```text
+//! tricount count --family rmat --n 16384 --p 32 --alg cetric2 --model cloud
+//! tricount generate --dataset orkut --n 8192 -o orkut.bin
+//! tricount lcc --input orkut.bin --p 8 --top 20
+//! tricount info --family rhg --n 4096
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cetric::cli::parse(&args).and_then(cetric::cli::execute) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

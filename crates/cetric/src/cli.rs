@@ -1,0 +1,468 @@
+//! Command-line interface backing the `tricount` binary: graph generation,
+//! triangle counting, LCC computation, enumeration and instance inspection
+//! from the shell. Argument parsing is hand-rolled (no dependency) and unit
+//! tested; the binary in `src/bin/tricount.rs` is a thin wrapper.
+
+use tricount_comm::{CostModel, Routing};
+use tricount_core::dist::{enumerate, lcc};
+use tricount_core::{count_with, seq, Aggregation, Algorithm, DistConfig};
+use tricount_gen::{Dataset, Family};
+use tricount_graph::stats::{degree_histogram_log2, global_clustering_coefficient, GraphStats};
+use tricount_graph::{io, Csr};
+
+/// Where the input graph comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Load from a file (text edge list or `.bin`).
+    File(String),
+    /// Generate a synthetic family instance.
+    Family {
+        /// The family.
+        family: Family,
+        /// Number of vertices.
+        n: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Generate a Table-I proxy dataset.
+    Dataset {
+        /// The dataset.
+        dataset: Dataset,
+        /// Number of vertices.
+        n: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a graph and write it to a file.
+    Generate {
+        /// Input source (must be a generator).
+        source: Source,
+        /// Output path (`.bin` → binary, else text).
+        output: String,
+    },
+    /// Count triangles.
+    Count {
+        /// Input source.
+        source: Source,
+        /// Algorithm (`None` = sequential COMPACT-FORWARD).
+        algorithm: Option<Algorithm>,
+        /// Simulated PEs.
+        p: usize,
+        /// Cost model preset.
+        model: CostModel,
+        /// Config overrides.
+        config: DistConfig,
+        /// Run with the overlap-aware simulated clock and report the
+        /// makespan.
+        timed: bool,
+    },
+    /// Compute per-vertex counts / LCC and print the top-k.
+    Lcc {
+        /// Input source.
+        source: Source,
+        /// Simulated PEs.
+        p: usize,
+        /// How many extreme vertices to print.
+        top: usize,
+    },
+    /// Enumerate triangles.
+    Enumerate {
+        /// Input source.
+        source: Source,
+        /// Simulated PEs.
+        p: usize,
+        /// Print at most this many triples.
+        limit: usize,
+    },
+    /// Print instance statistics.
+    Info {
+        /// Input source.
+        source: Source,
+    },
+}
+
+fn parse_family(s: &str) -> Result<Family, String> {
+    match s {
+        "gnm" => Ok(Family::Gnm),
+        "rgg2d" | "rgg" => Ok(Family::Rgg2d),
+        "rhg" => Ok(Family::Rhg),
+        "rmat" => Ok(Family::Rmat),
+        _ => Err(format!("unknown family {s:?} (gnm|rgg2d|rhg|rmat)")),
+    }
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    Dataset::all()
+        .into_iter()
+        .find(|d| d.paper_stats().name == s)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Dataset::all().iter().map(|d| d.paper_stats().name).collect();
+            format!("unknown dataset {s:?} (one of {names:?})")
+        })
+}
+
+fn parse_algorithm(s: &str) -> Result<Option<Algorithm>, String> {
+    Ok(Some(match s {
+        "seq" => return Ok(None),
+        "ditric" => Algorithm::Ditric,
+        "ditric2" => Algorithm::Ditric2,
+        "cetric" => Algorithm::Cetric,
+        "cetric2" => Algorithm::Cetric2,
+        "tric" => Algorithm::TricLike,
+        "havoqgt" => Algorithm::HavoqgtLike,
+        "unagg" => Algorithm::Unaggregated,
+        _ => {
+            return Err(format!(
+                "unknown algorithm {s:?} (seq|ditric|ditric2|cetric|cetric2|tric|havoqgt|unagg)"
+            ))
+        }
+    }))
+}
+
+/// Parses a full argument list (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let verb = it.next().ok_or_else(usage)?;
+
+    // collect --key value pairs
+    let mut opts: Vec<(String, String)> = Vec::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i];
+        if !key.starts_with("--") && !key.starts_with('-') {
+            return Err(format!("unexpected argument {key:?}"));
+        }
+        let val = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {key}"))?;
+        opts.push((key.trim_start_matches('-').to_string(), val.to_string()));
+        i += 2;
+    }
+    let get = |k: &str| opts.iter().find(|(key, _)| key == k).map(|(_, v)| v.as_str());
+    let parse_u64 = |k: &str, default: u64| -> Result<u64, String> {
+        get(k).map_or(Ok(default), |v| {
+            v.parse().map_err(|e| format!("bad --{k} {v:?}: {e}"))
+        })
+    };
+
+    let source = if let Some(path) = get("input") {
+        Source::File(path.to_string())
+    } else if let Some(fam) = get("family") {
+        Source::Family {
+            family: parse_family(fam)?,
+            n: parse_u64("n", 1 << 12)?,
+            seed: parse_u64("seed", 42)?,
+        }
+    } else if let Some(ds) = get("dataset") {
+        Source::Dataset {
+            dataset: parse_dataset(ds)?,
+            n: parse_u64("n", 1 << 12)?,
+            seed: parse_u64("seed", 42)?,
+        }
+    } else if verb == "generate" || verb == "count" || verb == "lcc" || verb == "info" || verb == "enumerate" {
+        return Err("need an input: --input FILE, --family F, or --dataset D".to_string());
+    } else {
+        return Err(usage());
+    };
+
+    let p = parse_u64("p", 4)? as usize;
+    match verb.as_str() {
+        "generate" => {
+            if matches!(source, Source::File(_)) {
+                return Err("generate needs --family or --dataset, not --input".to_string());
+            }
+            Ok(Command::Generate {
+                source,
+                output: get("o")
+                    .or(get("output"))
+                    .ok_or("generate needs -o/--output PATH")?
+                    .to_string(),
+            })
+        }
+        "count" => {
+            let algorithm = parse_algorithm(get("alg").unwrap_or("cetric"))?;
+            let mut config = algorithm.map_or_else(DistConfig::default, |a| a.config());
+            if let Some(r) = get("routing") {
+                config.routing = match r {
+                    "direct" => Routing::Direct,
+                    "grid" => Routing::Grid,
+                    _ => return Err(format!("unknown routing {r:?} (direct|grid)")),
+                };
+            }
+            if let Some(f) = get("delta-factor") {
+                let factor: f64 = f.parse().map_err(|e| format!("bad --delta-factor: {e}"))?;
+                config.aggregation = Aggregation::Dynamic {
+                    delta_factor: factor,
+                };
+            }
+            let model = match get("model").unwrap_or("supermuc") {
+                "supermuc" => CostModel::supermuc(),
+                "cloud" => CostModel::cloud(),
+                m => return Err(format!("unknown model {m:?} (supermuc|cloud)")),
+            };
+            Ok(Command::Count {
+                source,
+                algorithm,
+                p,
+                model,
+                config,
+                timed: get("timed").is_some_and(|v| v == "true" || v == "1"),
+            })
+        }
+        "lcc" => Ok(Command::Lcc {
+            source,
+            p,
+            top: parse_u64("top", 10)? as usize,
+        }),
+        "enumerate" => Ok(Command::Enumerate {
+            source,
+            p,
+            limit: parse_u64("limit", 20)? as usize,
+        }),
+        "info" => Ok(Command::Info { source }),
+        v => Err(format!("unknown command {v:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: tricount <generate|count|lcc|enumerate|info> \
+     [--input FILE | --family gnm|rgg2d|rhg|rmat | --dataset NAME] \
+     [--n N] [--seed S] [--p P] [--alg A] [--model supermuc|cloud] \
+     [--routing direct|grid] [--delta-factor F] [--top K] [--limit K] [-o OUT]"
+        .to_string()
+}
+
+/// Materialises the input graph of a command.
+pub fn load_source(source: &Source) -> Result<Csr, String> {
+    match source {
+        Source::File(path) => io::load_graph(path).map_err(|e| format!("loading {path:?}: {e}")),
+        Source::Family { family, n, seed } => Ok(family.generate(*n, *seed)),
+        Source::Dataset { dataset, n, seed } => Ok(dataset.generate(*n, *seed)),
+    }
+}
+
+/// Executes a parsed command, printing results to stdout.
+pub fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Generate { source, output } => {
+            let g = load_source(&source)?;
+            let f = std::fs::File::create(&output).map_err(|e| e.to_string())?;
+            if output.ends_with(".bin") {
+                io::write_binary(f, &g).map_err(|e| e.to_string())?;
+            } else {
+                io::write_text_edges(f, &g.to_edge_list()).map_err(|e| e.to_string())?;
+            }
+            println!(
+                "wrote {} (n = {}, m = {})",
+                output,
+                g.num_vertices(),
+                g.num_edges()
+            );
+        }
+        Command::Count {
+            source,
+            algorithm,
+            p,
+            model,
+            config,
+            timed,
+        } => {
+            let g = load_source(&source)?;
+            match algorithm {
+                None => {
+                    let s = seq::compact_forward(&g);
+                    println!("triangles: {} (sequential, {} ops)", s.triangles, s.ops);
+                }
+                Some(alg) => {
+                    let r = if timed {
+                        let dg = tricount_graph::DistGraph::new_balanced_vertices(&g, p);
+                        tricount_core::dist::run_on_timed(dg, alg, &config, model)
+                            .map_err(|e| e.to_string())?
+                    } else {
+                        count_with(&g, p, alg, &config).map_err(|e| e.to_string())?
+                    };
+                    if timed {
+                        println!(
+                            "overlap-aware makespan: {:.3} ms",
+                            r.stats.makespan() * 1e3
+                        );
+                    }
+                    println!("triangles: {}", r.triangles);
+                    println!(
+                        "{} on {p} PEs: modeled {:.3} ms | {} msgs | {} words total | bottleneck {} words | peak buffer {} words",
+                        alg.name(),
+                        r.modeled_time(&model) * 1e3,
+                        r.stats.total_messages(),
+                        r.stats.total_volume(),
+                        r.stats.bottleneck_volume(),
+                        r.stats.max_peak_buffered(),
+                    );
+                    for ph in &r.stats.phases {
+                        println!(
+                            "  {:<14} {:.3} ms",
+                            ph.name,
+                            ph.modeled_time(&model) * 1e3
+                        );
+                    }
+                }
+            }
+        }
+        Command::Lcc { source, p, top } => {
+            let g = load_source(&source)?;
+            let r = lcc::lcc(&g, p, &DistConfig::default());
+            println!("triangles: {}", r.triangles);
+            let mut by_degree: Vec<u64> = g.vertices().collect();
+            by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+            println!("{:>10} {:>8} {:>10} {:>8}", "vertex", "degree", "triangles", "lcc");
+            for &v in by_degree.iter().take(top) {
+                println!(
+                    "{:>10} {:>8} {:>10} {:>8.4}",
+                    v,
+                    g.degree(v),
+                    r.per_vertex[v as usize],
+                    r.lcc[v as usize]
+                );
+            }
+        }
+        Command::Enumerate { source, p, limit } => {
+            let g = load_source(&source)?;
+            let tris = enumerate::enumerate(&g, p, &DistConfig::default());
+            println!("{} triangles", tris.len());
+            for (a, b, c) in tris.iter().take(limit) {
+                println!("{a} {b} {c}");
+            }
+            if tris.len() > limit {
+                println!("... ({} more)", tris.len() - limit);
+            }
+        }
+        Command::Info { source } => {
+            let g = load_source(&source)?;
+            let s = GraphStats::of(&g);
+            let t = seq::compact_forward(&g).triangles;
+            println!("n          = {}", s.n);
+            println!("m          = {}", s.m);
+            println!("wedges     = {}", s.wedges);
+            println!("triangles  = {t}");
+            println!("avg degree = {:.2}", s.avg_degree);
+            println!("max degree = {} (skew {:.1})", s.max_degree, s.skew());
+            println!("global CC  = {:.4}", global_clustering_coefficient(&g, t));
+            println!("degree histogram (log2 bins):");
+            for (b, count) in degree_histogram_log2(&g).iter().enumerate() {
+                if *count > 0 {
+                    println!("  [{:>6}, {:>6}) {:>8}", 1u64 << b, 1u64 << (b + 1), count);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_count_with_family() {
+        let cmd = parse(&args("count --family rmat --n 1024 --p 8 --alg ditric2")).unwrap();
+        match cmd {
+            Command::Count {
+                source, algorithm, p, ..
+            } => {
+                assert_eq!(
+                    source,
+                    Source::Family {
+                        family: Family::Rmat,
+                        n: 1024,
+                        seed: 42
+                    }
+                );
+                assert_eq!(algorithm, Some(Algorithm::Ditric2));
+                assert_eq!(p, 8);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_seq_algorithm() {
+        let cmd = parse(&args("count --family gnm --alg seq")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Count {
+                algorithm: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_generate_and_info() {
+        let cmd = parse(&args("generate --dataset orkut --n 512 -o out.bin")).unwrap();
+        assert!(matches!(cmd, Command::Generate { .. }));
+        let cmd = parse(&args("info --input g.txt")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Info {
+                source: Source::File("g.txt".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parse_overrides() {
+        let cmd = parse(&args(
+            "count --family gnm --alg ditric --routing grid --delta-factor 0.5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Count { config, .. } => {
+                assert_eq!(config.routing, Routing::Grid);
+                assert_eq!(
+                    config.aggregation,
+                    Aggregation::Dynamic { delta_factor: 0.5 }
+                );
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&args("count")).is_err()); // no source
+        assert!(parse(&args("frobnicate --family gnm")).is_err()); // bad verb
+        assert!(parse(&args("count --family nope")).is_err());
+        assert!(parse(&args("count --family gnm --alg nope")).is_err());
+        assert!(parse(&args("generate --input x.txt -o y.txt")).is_err());
+        assert!(parse(&args("count --family gnm --model dialup")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn execute_count_on_generated_graph() {
+        let cmd = parse(&args("count --family rgg2d --n 512 --p 4 --alg cetric")).unwrap();
+        execute(cmd).unwrap();
+    }
+
+    #[test]
+    fn execute_roundtrip_through_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("tricount_cli_test.bin");
+        let path_s = path.to_str().unwrap().to_string();
+        execute(parse(&args(&format!("generate --family gnm --n 256 -o {path_s}"))).unwrap())
+            .unwrap();
+        execute(parse(&args(&format!("info --input {path_s}"))).unwrap()).unwrap();
+        execute(parse(&args(&format!("count --input {path_s} --p 3 --alg ditric"))).unwrap())
+            .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,217 @@
+//! Grid-based indirect message delivery (paper §IV-B, Fig. 3).
+//!
+//! PEs are arranged row-major in a logical 2D grid with
+//! `c = ⌊√p + ½⌋` columns (round to nearest). A message from `P_{i,j}` to
+//! `P_{k,l}` first travels along the sender's row to the *proxy* `P_{i,l}`
+//! (same row as the sender, same column as the destination), which forwards
+//! it along the column to `P_{k,l}`. Combined with per-PE aggregation at the
+//! proxy, every PE talks to O(√p) peers instead of up to `p`.
+//!
+//! If `p` is not rectangular the last row is ragged. When a sender sits in
+//! the ragged last row and the destination column exceeds that row's length,
+//! the logical proxy does not exist; the paper then *transposes* the last
+//! row and appends it as a column on the right, i.e. the sender at
+//! `(rows−1, j)` acts as if located at `(j, c)` and picks the proxy
+//! `P_{j, l}` in row `j`. (This is only needed in that direction.)
+
+/// The logical 2D arrangement of `p` PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    p: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// Builds the grid for `p` PEs with `⌊√p + ½⌋` columns.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0);
+        let cols = ((p as f64).sqrt() + 0.5).floor() as usize;
+        Self {
+            p,
+            cols: cols.max(1),
+        }
+    }
+
+    /// Number of PEs.
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows (last row possibly ragged).
+    pub fn rows(&self) -> usize {
+        self.p.div_ceil(self.cols)
+    }
+
+    /// Row/column position of a rank.
+    #[inline]
+    pub fn pos(&self, rank: usize) -> (usize, usize) {
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at a position, if it exists.
+    #[inline]
+    pub fn id(&self, row: usize, col: usize) -> Option<usize> {
+        let r = row * self.cols + col;
+        (col < self.cols && r < self.p).then_some(r)
+    }
+
+    /// The proxy (first hop) for a message `from → to`. Returns `to` itself
+    /// when no indirection is useful (same row or column, or degenerate
+    /// ragged cases).
+    pub fn proxy(&self, from: usize, to: usize) -> usize {
+        debug_assert!(from < self.p && to < self.p);
+        let (fi, fj) = self.pos(from);
+        let (ti, tj) = self.pos(to);
+        if fi == ti || fj == tj || from == to {
+            // already share a row or column — go direct
+            return to;
+        }
+        if let Some(pr) = self.id(fi, tj) {
+            return pr;
+        }
+        // Sender in the ragged last row and the destination column does not
+        // exist there: transpose the last row (sender acts as (fj, cols)) and
+        // take the proxy in row fj.
+        if let Some(pr) = self.id(fj, tj) {
+            return pr;
+        }
+        // Degenerate fallback (tiny p): go direct.
+        to
+    }
+
+    /// The full route `from → to` as the sequence of hops after `from`
+    /// (either `[to]` or `[proxy, to]`).
+    pub fn route(&self, from: usize, to: usize) -> Vec<usize> {
+        let pr = self.proxy(from, to);
+        if pr == to {
+            vec![to]
+        } else {
+            vec![pr, to]
+        }
+    }
+
+    /// The set of distinct first-hop peers of `from` (used to verify the
+    /// O(√p) peer bound).
+    pub fn first_hop_peers(&self, from: usize) -> Vec<usize> {
+        let mut peers: Vec<usize> = (0..self.p)
+            .filter(|&to| to != from)
+            .map(|to| self.proxy(from, to))
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grid_shape() {
+        let g = Grid::new(16);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.rows(), 4);
+        assert_eq!(g.pos(6), (1, 2));
+        assert_eq!(g.id(1, 2), Some(6));
+    }
+
+    #[test]
+    fn nearest_rounding_of_columns() {
+        // p=8 → √8≈2.83 → ⌊2.83+0.5⌋ = 3 columns
+        let g = Grid::new(8);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.rows(), 3); // rows 0,1 full; last row has 2
+        // p=2 → cols 1
+        assert_eq!(Grid::new(2).cols(), 1);
+        assert_eq!(Grid::new(1).cols(), 1);
+    }
+
+    #[test]
+    fn proxy_in_sender_row_dest_column() {
+        let g = Grid::new(16);
+        // from (0,0)=0 to (3,3)=15 → proxy (0,3)=3
+        assert_eq!(g.proxy(0, 15), 3);
+        // same row → direct
+        assert_eq!(g.proxy(0, 3), 3);
+        // same column → direct
+        assert_eq!(g.proxy(0, 12), 12);
+    }
+
+    #[test]
+    fn ragged_last_row_transposition() {
+        // p=7, cols=3: rows [0,1,2],[3,4,5],[6]. Sender 6 = (2,0).
+        let g = Grid::new(7);
+        assert_eq!(g.pos(6), (2, 0));
+        // 6 → 4=(1,1): proxy (2,1) does not exist; transpose: sender acts as
+        // (0, 3) → row 0 → proxy (0,1)=1.
+        assert_eq!(g.proxy(6, 4), 1);
+        // 6 → 3=(1,0): same column, direct.
+        assert_eq!(g.proxy(6, 3), 3);
+    }
+
+    #[test]
+    fn routes_reach_destination_for_many_p() {
+        for p in 1..=40 {
+            let g = Grid::new(p);
+            for from in 0..p {
+                for to in 0..p {
+                    if from == to {
+                        continue;
+                    }
+                    let route = g.route(from, to);
+                    assert_eq!(*route.last().unwrap(), to, "p={p} {from}->{to}");
+                    assert!(route.len() <= 2);
+                    // hops are valid ranks, no self-loops in the route
+                    let mut prev = from;
+                    for &h in &route {
+                        assert!(h < p);
+                        assert_ne!(h, prev, "p={p} {from}->{to} route {route:?}");
+                        prev = h;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peer_count_is_near_sqrt_p() {
+        for p in [16usize, 64, 100, 144, 256] {
+            let g = Grid::new(p);
+            let c = g.cols();
+            for from in 0..p {
+                let peers = g.first_hop_peers(from).len();
+                // row peers + column peers (+ small ragged slack)
+                assert!(
+                    peers <= 2 * c + 2,
+                    "p={p} from={from}: {peers} peers > {}",
+                    2 * c + 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_hop_shares_column_with_dest() {
+        for p in [7usize, 12, 16, 23, 64] {
+            let g = Grid::new(p);
+            for from in 0..p {
+                for to in 0..p {
+                    if from == to {
+                        continue;
+                    }
+                    let pr = g.proxy(from, to);
+                    if pr != to {
+                        // forwarding hop must share the destination's column
+                        assert_eq!(g.pos(pr).1, g.pos(to).1, "p={p} {from}->{to} via {pr}");
+                    }
+                }
+            }
+        }
+    }
+}

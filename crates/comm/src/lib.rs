@@ -1,0 +1,38 @@
+//! A simulated distributed-memory machine for reproducing the communication
+//! behaviour of Sanders & Uhl's distributed triangle counting algorithms
+//! (IPDPS 2023) on a single host.
+//!
+//! The paper's machine model (§II-B) is `p` PEs with full-duplex,
+//! single-ported communication where a message of `ℓ` words costs `α + βℓ`.
+//! This crate executes *real* message-passing programs — one thread per PE,
+//! real payloads over channels, results checked against ground truth — while
+//! metering every message, word, and unit of local work, and pricing the
+//! trace with exactly that model ([`CostModel`]).
+//!
+//! Components:
+//! * [`runtime::run`] — spawn `p` PEs, run a rank program, collect
+//!   [`RunStats`].
+//! * [`Ctx`] — the communicator: point-to-point sends, polling receives,
+//!   barrier / all-reduce / all-gather / dense all-to-all collectives, work
+//!   metering, phase boundaries.
+//! * [`MessageQueue`] — the paper's dynamically buffered message queue with
+//!   flush threshold δ (§IV-A), asynchronous sparse all-to-all with
+//!   termination, and grid-based indirect delivery (§IV-B).
+//! * [`Grid`] — the 2D proxy arrangement, including the ragged-last-row
+//!   transposition.
+//! * [`CostModel`] / [`RunStats`] — turning counter traces into the modeled
+//!   times, message maxima, and bottleneck volumes the paper plots.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod grid;
+pub mod queue;
+pub mod runtime;
+pub mod stats;
+
+pub use cost::{ceil_log2, CostModel};
+pub use grid::Grid;
+pub use queue::{Envelope, MessageQueue, QueueConfig, Routing};
+pub use runtime::{run, Ctx, RunOutput};
+pub use stats::{Counters, PhaseStats, RunStats};

@@ -1,0 +1,684 @@
+//! The simulated distributed machine: `p` logical PEs running as threads,
+//! exchanging messages through channels, with every communication action
+//! metered (see [`crate::stats`]).
+//!
+//! A [`run`] call plays the role of `mpirun`: it spawns one thread
+//! per PE, hands each a [`Ctx`] (the communicator), runs the given rank
+//! program, and assembles per-phase statistics. Collectives are executed
+//! through shared memory but *charged* with the standard tree/butterfly cost
+//! formulas, so modeled times match what a real MPI implementation of the
+//! paper's algorithms would pay.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::Barrier;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::cost::{ceil_log2, CostModel};
+use crate::stats::{Counters, PhaseStats, RunStats};
+
+/// A raw point-to-point message: the sending rank and a word payload.
+#[derive(Debug)]
+pub struct RawMsg {
+    /// Immediate sender (for relayed traffic this is the proxy, not the
+    /// originator).
+    pub src: usize,
+    /// Payload machine words.
+    pub words: Vec<u64>,
+    /// Simulated arrival time at the receiver (timed runs; 0 otherwise).
+    pub arrival: f64,
+}
+
+/// Scratch space for shared-memory collectives.
+#[derive(Debug)]
+struct CollScratch {
+    /// Per-rank deposit slot (allgather/allreduce).
+    slots: Vec<Vec<u64>>,
+    /// `mat[src][dst]` deposit matrix (all-to-all).
+    mat: Vec<Vec<Vec<u64>>>,
+}
+
+/// State shared by all PEs of one run.
+pub(crate) struct Shared {
+    p: usize,
+    senders: Vec<Sender<RawMsg>>,
+    barrier: Barrier,
+    coll: Mutex<CollScratch>,
+    /// Sparse-exchange termination: envelopes expected per destination.
+    pub(crate) expected: Vec<AtomicU64>,
+    /// Ranks that finished producing in the current sparse exchange.
+    pub(crate) producers_done: AtomicUsize,
+    /// Ranks whose inbox is fully drained in the current sparse exchange.
+    pub(crate) satisfied: AtomicUsize,
+    /// Clock deposit slots for timed runs (f64 bits).
+    clock_slots: Vec<AtomicU64>,
+}
+
+/// The per-PE communicator handle. One per rank thread; owns that rank's
+/// inbox and counters.
+pub struct Ctx<'s> {
+    rank: usize,
+    pub(crate) shared: &'s Shared,
+    receiver: Receiver<RawMsg>,
+    counters: Counters,
+    phases: Vec<PhaseRecord>,
+    sent_peer_seen: Vec<bool>,
+    recv_peer_seen: Vec<bool>,
+    /// Cost model of a timed run (None = untimed; clock stays 0).
+    timing: Option<CostModel>,
+    clock: f64,
+}
+
+struct PhaseRecord {
+    name: String,
+    counters: Counters,
+}
+
+impl<'s> Ctx<'s> {
+    /// This PE's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of PEs `p`.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.shared.p
+    }
+
+    /// Read access to the running counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Meters `ops` candidate comparisons of local work.
+    #[inline]
+    pub fn add_work(&mut self, ops: u64) {
+        self.counters.work_ops += ops;
+        if let Some(cost) = self.timing {
+            self.clock += cost.t_op * ops as f64;
+            self.counters.sim_clock = self.clock;
+        }
+    }
+
+    /// Advances the simulated clock by a collective's analytic cost and
+    /// records the charge (no-op on the clock in untimed runs).
+    fn charge_collective(&mut self, alpha_units: u64, word_units: u64) {
+        self.counters.coll_alpha_units += alpha_units;
+        self.counters.coll_word_units += word_units;
+        if let Some(cost) = self.timing {
+            self.clock += cost.alpha * alpha_units as f64 + cost.beta * word_units as f64;
+            self.counters.sim_clock = self.clock;
+        }
+    }
+
+    /// Synchronises simulated clocks to the global maximum (used at
+    /// barriers and collectives of timed runs; no-op otherwise).
+    pub(crate) fn sync_clocks(&mut self) {
+        if self.timing.is_none() {
+            return;
+        }
+        self.shared.clock_slots[self.rank]
+            .store(self.clock.to_bits(), std::sync::atomic::Ordering::SeqCst);
+        self.barrier_uncharged();
+        let max = self
+            .shared
+            .clock_slots
+            .iter()
+            .map(|s| f64::from_bits(s.load(std::sync::atomic::Ordering::SeqCst)))
+            .fold(0.0, f64::max);
+        self.barrier_uncharged();
+        self.clock = max;
+        self.counters.sim_clock = self.clock;
+    }
+
+    /// Records a buffer-occupancy high-water mark (called by the message
+    /// queue).
+    #[inline]
+    pub fn note_buffered(&mut self, words: u64) {
+        if words > self.counters.peak_buffered_words {
+            self.counters.peak_buffered_words = words;
+        }
+    }
+
+    /// Charges the modeled cost of the sparse-exchange termination protocol
+    /// (used by the message queue; see `crate::queue`). In timed runs this
+    /// also synchronises clocks — termination is a consensus.
+    pub(crate) fn add_termination_charge(&mut self, alpha_units: u64, word_units: u64) {
+        self.sync_clocks();
+        self.charge_collective(alpha_units, word_units);
+    }
+
+    /// Sends one point-to-point message. Counted as one message of
+    /// `words.len()` machine words.
+    pub fn send_raw(&mut self, to: usize, words: Vec<u64>) {
+        debug_assert!(to < self.shared.p && to != self.rank, "bad destination {to}");
+        self.counters.sent_messages += 1;
+        self.counters.sent_words += words.len() as u64;
+        if !self.sent_peer_seen[to] {
+            self.sent_peer_seen[to] = true;
+            self.counters.sent_peers += 1;
+        }
+        let mut arrival = 0.0;
+        if let Some(cost) = self.timing {
+            // sender is occupied for the startup latency; the payload then
+            // arrives after the transmission time
+            self.clock += cost.alpha;
+            arrival = self.clock + cost.beta * words.len() as f64;
+            self.counters.sim_clock = self.clock;
+        }
+        self.shared.senders[to]
+            .send(RawMsg {
+                src: self.rank,
+                words,
+                arrival,
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Non-blocking receive of one message.
+    pub fn try_recv_raw(&mut self) -> Option<RawMsg> {
+        match self.receiver.try_recv() {
+            Ok(m) => {
+                self.counters.recv_messages += 1;
+                self.counters.recv_words += m.words.len() as u64;
+                if !self.recv_peer_seen[m.src] {
+                    self.recv_peer_seen[m.src] = true;
+                    self.counters.recv_peers += 1;
+                }
+                if self.timing.is_some() {
+                    self.clock = self.clock.max(m.arrival);
+                    self.counters.sim_clock = self.clock;
+                }
+                Some(m)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Barrier without cost charge (internal synchronisation of the
+    /// simulator itself).
+    pub(crate) fn barrier_uncharged(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Synchronises all PEs; charged `α⌈log₂ p⌉`.
+    pub fn barrier(&mut self) {
+        self.sync_clocks();
+        self.charge_collective(ceil_log2(self.shared.p), 0);
+        self.barrier_uncharged();
+    }
+
+    /// All-gather of variable-length word vectors; returns every rank's
+    /// contribution indexed by rank. Charged `α⌈log₂p⌉ + β·(total words)`.
+    pub fn allgatherv(&mut self, data: Vec<u64>) -> Vec<Vec<u64>> {
+        {
+            let mut s = self.shared.coll.lock();
+            s.slots[self.rank] = data;
+        }
+        self.barrier_uncharged();
+        let out: Vec<Vec<u64>> = {
+            let s = self.shared.coll.lock();
+            s.slots.clone()
+        };
+        self.barrier_uncharged();
+        let total: u64 = out.iter().map(|v| v.len() as u64).sum();
+        self.sync_clocks();
+        self.charge_collective(ceil_log2(self.shared.p), total);
+        out
+    }
+
+    /// Element-wise sum all-reduce of equal-length vectors. Charged
+    /// `(α + β·len)·⌈log₂ p⌉`.
+    pub fn allreduce_sum(&mut self, data: &[u64]) -> Vec<u64> {
+        let parts = self.allgatherv_uncharged(data.to_vec());
+        let len = data.len();
+        let mut acc = vec![0u64; len];
+        for part in &parts {
+            assert_eq!(part.len(), len, "allreduce contributions must agree in length");
+            for (a, &x) in acc.iter_mut().zip(part) {
+                *a += x;
+            }
+        }
+        let log = ceil_log2(self.shared.p);
+        self.sync_clocks();
+        self.charge_collective(log, log * len as u64);
+        acc
+    }
+
+    /// Scalar max all-reduce. Charged like a 1-word all-reduce.
+    pub fn allreduce_max(&mut self, x: u64) -> u64 {
+        let parts = self.allgatherv_uncharged(vec![x]);
+        let log = ceil_log2(self.shared.p);
+        self.sync_clocks();
+        self.charge_collective(log, log);
+        parts.iter().map(|v| v[0]).max().unwrap_or(0)
+    }
+
+    /// Exclusive prefix sum over ranks of a scalar. Charged like a 1-word
+    /// all-reduce.
+    pub fn exscan_sum(&mut self, x: u64) -> u64 {
+        let parts = self.allgatherv_uncharged(vec![x]);
+        let log = ceil_log2(self.shared.p);
+        self.sync_clocks();
+        self.charge_collective(log, log);
+        parts[..self.rank].iter().map(|v| v[0]).sum()
+    }
+
+    fn allgatherv_uncharged(&mut self, data: Vec<u64>) -> Vec<Vec<u64>> {
+        {
+            let mut s = self.shared.coll.lock();
+            s.slots[self.rank] = data;
+        }
+        self.barrier_uncharged();
+        let out: Vec<Vec<u64>> = {
+            let s = self.shared.coll.lock();
+            s.slots.clone()
+        };
+        self.barrier_uncharged();
+        out
+    }
+
+    /// Dense irregular all-to-all (`MPI_Alltoallv`): `outgoing[d]` is sent to
+    /// rank `d`; returns what every rank sent here, indexed by source rank.
+    /// Counted as the constituent point-to-point messages (nonempty, non-self
+    /// vectors only), plus the receive-counts pre-exchange a real
+    /// `MPI_Alltoallv` needs (an all-to-all of `p` counts, charged as
+    /// `α⌈log₂p⌉ + β·p`) — this is the dense overhead a sparse exchange
+    /// avoids (§IV-D).
+    pub fn alltoallv(&mut self, outgoing: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        assert_eq!(outgoing.len(), self.shared.p);
+        self.sync_clocks();
+        self.charge_collective(ceil_log2(self.shared.p), self.shared.p as u64);
+        let mut sent_words_here = 0u64;
+        let mut sent_msgs_here = 0u64;
+        for (d, v) in outgoing.iter().enumerate() {
+            if d != self.rank && !v.is_empty() {
+                self.counters.sent_messages += 1;
+                self.counters.sent_words += v.len() as u64;
+                sent_msgs_here += 1;
+                sent_words_here += v.len() as u64;
+            }
+        }
+        {
+            let mut s = self.shared.coll.lock();
+            s.mat[self.rank] = outgoing;
+        }
+        self.barrier_uncharged();
+        let incoming: Vec<Vec<u64>> = {
+            let s = self.shared.coll.lock();
+            (0..self.shared.p)
+                .map(|src| s.mat[src][self.rank].clone())
+                .collect()
+        };
+        self.barrier_uncharged();
+        let mut recv_words_here = 0u64;
+        let mut recv_msgs_here = 0u64;
+        for (srcr, v) in incoming.iter().enumerate() {
+            if srcr != self.rank && !v.is_empty() {
+                self.counters.recv_messages += 1;
+                self.counters.recv_words += v.len() as u64;
+                recv_msgs_here += 1;
+                recv_words_here += v.len() as u64;
+            }
+        }
+        if let Some(cost) = self.timing {
+            // single-ported: pay the max direction
+            let msgs = sent_msgs_here.max(recv_msgs_here) as f64;
+            let words = sent_words_here.max(recv_words_here) as f64;
+            self.clock += cost.alpha * msgs + cost.beta * words;
+            self.counters.sim_clock = self.clock;
+        }
+        // participants leave the exchange together
+        self.sync_clocks();
+        incoming
+    }
+
+    /// Ends the current phase: synchronises all PEs and records the counter
+    /// deltas under `name`. All PEs must call this with the same sequence of
+    /// phase names.
+    pub fn end_phase(&mut self, name: &str) {
+        self.counters.coll_alpha_units += ceil_log2(self.shared.p);
+        self.end_phase_uncharged(name);
+    }
+
+    fn end_phase_uncharged(&mut self, name: &str) {
+        self.sync_clocks();
+        self.barrier_uncharged();
+        self.phases.push(PhaseRecord {
+            name: name.to_string(),
+            counters: self.counters,
+        });
+    }
+}
+
+/// The result of a simulated run: the per-rank return values and the full
+/// statistics record.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values (indexed by rank).
+    pub results: Vec<R>,
+    /// Per-phase, per-rank counters.
+    pub stats: RunStats,
+}
+
+/// Runs `f` as the rank program on `p` simulated PEs.
+///
+/// `f` is called once per rank with that rank's [`Ctx`]; any un-phased
+/// trailing activity is recorded as a final `"rest"` phase.
+pub fn run<R, F>(p: usize, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    run_with(p, None, f)
+}
+
+/// Like [`run`], but with the overlap-aware simulated clock enabled: every
+/// PE carries a causal clock advanced by its local work (`t_op`), its send
+/// overheads (`α`) and the arrival times of the messages it receives
+/// (`send clock + α + β·ℓ`), synchronised at barriers/collectives. The
+/// resulting [`RunStats::makespan`] captures communication/computation
+/// overlap, which the per-phase [`RunStats::modeled_time`] upper bound
+/// cannot.
+pub fn run_timed<R, F>(p: usize, cost: CostModel, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    run_with(p, Some(cost), f)
+}
+
+fn run_with<R, F>(p: usize, timing: Option<CostModel>, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    assert!(p > 0, "need at least one PE");
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = crossbeam_channel::unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let shared = Shared {
+        p,
+        senders,
+        barrier: Barrier::new(p),
+        coll: Mutex::new(CollScratch {
+            slots: vec![Vec::new(); p],
+            mat: vec![Vec::new(); p],
+        }),
+        expected: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        producers_done: AtomicUsize::new(0),
+        satisfied: AtomicUsize::new(0),
+        clock_slots: (0..p).map(|_| AtomicU64::new(0)).collect(),
+    };
+
+    let mut slots: Vec<Option<(R, Vec<PhaseRecord>)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let shared = &shared;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut ctx = Ctx {
+                    rank,
+                    shared,
+                    receiver,
+                    counters: Counters::default(),
+                    phases: Vec::new(),
+                    sent_peer_seen: vec![false; p],
+                    recv_peer_seen: vec![false; p],
+                    timing,
+                    clock: 0.0,
+                };
+                let result = f(&mut ctx);
+                ctx.end_phase_uncharged("rest");
+                (result, ctx.phases)
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            slots[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+
+    let mut results = Vec::with_capacity(p);
+    let mut per_rank_phases: Vec<Vec<PhaseRecord>> = Vec::with_capacity(p);
+    for s in slots {
+        let (r, ph) = s.unwrap();
+        results.push(r);
+        per_rank_phases.push(ph);
+    }
+
+    // Assemble per-phase deltas; all ranks must agree on the phase sequence.
+    let names: Vec<String> = per_rank_phases[0].iter().map(|pr| pr.name.clone()).collect();
+    for (r, phs) in per_rank_phases.iter().enumerate() {
+        let theirs: Vec<&String> = phs.iter().map(|pr| &pr.name).collect();
+        assert_eq!(
+            theirs,
+            names.iter().collect::<Vec<_>>(),
+            "rank {r} recorded a different phase sequence"
+        );
+    }
+    let mut phases = Vec::with_capacity(names.len());
+    for (pi, name) in names.iter().enumerate() {
+        let per_rank: Vec<Counters> = per_rank_phases
+            .iter()
+            .map(|phs| {
+                let cur = phs[pi].counters;
+                if pi == 0 {
+                    cur
+                } else {
+                    cur.delta_since(&phs[pi - 1].counters)
+                }
+            })
+            .collect();
+        phases.push(PhaseStats {
+            name: name.clone(),
+            per_rank,
+        });
+    }
+    // Drop an empty trailing "rest" phase to keep reports clean. Peak and
+    // peer fields are running values and do not indicate phase activity.
+    let is_inactive = |c: &Counters| {
+        c.sent_messages == 0
+            && c.sent_words == 0
+            && c.recv_messages == 0
+            && c.recv_words == 0
+            && c.work_ops == 0
+            && c.coll_alpha_units == 0
+            && c.coll_word_units == 0
+    };
+    if phases
+        .last()
+        .is_some_and(|ph| ph.name == "rest" && ph.per_rank.iter().all(is_inactive))
+    {
+        phases.pop();
+    }
+
+    RunOutput {
+        results,
+        stats: RunStats { p, phases },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run(1, |ctx| {
+            ctx.add_work(10);
+            ctx.rank()
+        });
+        assert_eq!(out.results, vec![0]);
+        assert_eq!(out.stats.total_work(), 10);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_raw(1, vec![1, 2, 3]);
+                0u64
+            } else {
+                loop {
+                    if let Some(m) = ctx.try_recv_raw() {
+                        assert_eq!(m.src, 0);
+                        return m.words.iter().sum();
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(out.results[1], 6);
+        assert_eq!(out.stats.total_messages(), 1);
+        assert_eq!(out.stats.total_volume(), 3);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let out = run(4, |ctx| ctx.allreduce_sum(&[ctx.rank() as u64, 1])[0]);
+        assert!(out.results.iter().all(|&x| x == 6));
+        let out2 = run(4, |ctx| ctx.allreduce_sum(&[ctx.rank() as u64, 1])[1]);
+        assert!(out2.results.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn allreduce_max_and_exscan() {
+        let out = run(4, |ctx| {
+            let mx = ctx.allreduce_max(ctx.rank() as u64 * 10);
+            let scan = ctx.exscan_sum(1);
+            (mx, scan)
+        });
+        for (r, &(mx, scan)) in out.results.iter().enumerate() {
+            assert_eq!(mx, 30);
+            assert_eq!(scan, r as u64);
+        }
+    }
+
+    #[test]
+    fn allgatherv_collects_everything() {
+        let out = run(3, |ctx| {
+            let mine = vec![ctx.rank() as u64; ctx.rank() + 1];
+            ctx.allgatherv(mine)
+        });
+        for res in &out.results {
+            assert_eq!(res[0], vec![0]);
+            assert_eq!(res[1], vec![1, 1]);
+            assert_eq!(res[2], vec![2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        let p = 4;
+        let out = run(p, |ctx| {
+            let outgoing: Vec<Vec<u64>> = (0..p)
+                .map(|d| vec![(ctx.rank() * 10 + d) as u64])
+                .collect();
+            ctx.alltoallv(outgoing)
+        });
+        for (me, incoming) in out.results.iter().enumerate() {
+            for (src, v) in incoming.iter().enumerate() {
+                assert_eq!(v, &vec![(src * 10 + me) as u64]);
+            }
+        }
+        // each rank sends p-1 real messages of 1 word
+        assert_eq!(out.stats.total_messages(), (p * (p - 1)) as u64);
+    }
+
+    #[test]
+    fn phases_split_counters() {
+        let out = run(2, |ctx| {
+            ctx.add_work(5);
+            ctx.end_phase("a");
+            ctx.add_work(7);
+            ctx.end_phase("b");
+        });
+        assert_eq!(out.stats.phases.len(), 2);
+        assert_eq!(out.stats.phases[0].total_work(), 10);
+        assert_eq!(out.stats.phases[1].total_work(), 14);
+        assert_eq!(out.stats.phase_time("b", &CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            t_op: 1.0,
+        }), 7.0);
+    }
+
+    #[test]
+    fn mismatched_phases_panic() {
+        let result = std::panic::catch_unwind(|| {
+            run(2, |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.end_phase("a");
+                } else {
+                    ctx.end_phase("z");
+                }
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let out = run(1, |ctx| {
+            let ar = ctx.allreduce_sum(&[7, 9]);
+            let mx = ctx.allreduce_max(5);
+            let sc = ctx.exscan_sum(3);
+            let ag = ctx.allgatherv(vec![1, 2, 3]);
+            let aa = ctx.alltoallv(vec![vec![4, 5]]);
+            (ar, mx, sc, ag, aa)
+        });
+        let (ar, mx, sc, ag, aa) = &out.results[0];
+        assert_eq!(ar, &vec![7, 9]);
+        assert_eq!(*mx, 5);
+        assert_eq!(*sc, 0);
+        assert_eq!(ag, &vec![vec![1, 2, 3]]);
+        assert_eq!(aa, &vec![vec![4, 5]]);
+        // p = 1: no messages, no log-p latency charges
+        assert_eq!(out.stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn empty_allgatherv_contributions() {
+        let out = run(3, |ctx| {
+            let data = if ctx.rank() == 1 { vec![9] } else { Vec::new() };
+            ctx.allgatherv(data)
+        });
+        for res in &out.results {
+            assert_eq!(res[0], Vec::<u64>::new());
+            assert_eq!(res[1], vec![9]);
+            assert_eq!(res[2], Vec::<u64>::new());
+        }
+    }
+
+    #[test]
+    fn alltoallv_charges_counts_preexchange() {
+        let p = 8;
+        let out = run(p, |ctx| {
+            ctx.alltoallv(vec![Vec::new(); p]);
+        });
+        let c = out.stats.phases[0].per_rank[0];
+        // even an empty alltoallv pays the counts exchange
+        assert!(c.coll_alpha_units >= ceil_log2(p));
+        assert!(c.coll_word_units >= p as u64);
+    }
+
+    #[test]
+    fn collective_charges_recorded() {
+        let out = run(4, |ctx| {
+            ctx.barrier();
+        });
+        // α·⌈log₂4⌉ = 2α per rank for the explicit barrier (+2 for phase end)
+        let c = out.stats.phases[0].per_rank[0];
+        assert!(c.coll_alpha_units >= 2);
+        assert_eq!(c.sent_messages, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! AMQ-approximate type-3 counting (paper §IV-E): CETRIC's global phase
+//! sends an approximate-membership sketch `A'(v)` instead of the exact
+//! contracted neighborhood. The receiver approximates `|A(u) ∩ A(v)|` by
+//! querying every member of its contracted `A(u)` against `A'(v)` and
+//! counting positives — an overestimate, corrected by subtracting the
+//! expected false positives (the *truthful estimator*).
+//!
+//! Type-1/2 triangles are still counted exactly (they never leave the PE).
+
+use tricount_amq::{truthful_estimate_unclamped, Amq, BloomFilter, SingleShotBloom};
+use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_graph::dist::{DistGraph, LocalGraph};
+use tricount_graph::intersect::merge_count;
+
+use crate::config::DistConfig;
+use crate::dist::{into_cells, preprocess};
+use crate::result::ApproxResult;
+
+/// Which AMQ to ship in the global phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Textbook Bloom filter.
+    Bloom,
+    /// Blocked single-probe filter (footnote 2's recommendation).
+    SingleShot,
+}
+
+/// Configuration of the approximate global phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxConfig {
+    /// Filter bits per neighborhood element.
+    pub bits_per_key: f64,
+    /// AMQ implementation.
+    pub filter: FilterKind,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            bits_per_key: 8.0,
+            filter: FilterKind::Bloom,
+        }
+    }
+}
+
+const TAG_BLOOM: u64 = 0;
+const TAG_SINGLE_SHOT: u64 = 1;
+
+struct RankOutput {
+    exact_local: u64,
+    type3_raw: u64,
+    type3_corrected: f64,
+}
+
+fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig, acfg: &ApproxConfig) -> RankOutput {
+    preprocess(ctx, &mut lg, cfg);
+    let o = lg.orient(cfg.ordering, true);
+    ctx.end_phase("preprocessing");
+
+    // exact local phase (identical to CETRIC's)
+    let mut exact_local = 0u64;
+    for v in o.owned_range() {
+        let av = o.a_owned(v);
+        for &u in av {
+            let au = o.a_of(u).expect("head must be owned or ghost");
+            let (c, ops) = merge_count(av, au);
+            exact_local += c;
+            ctx.add_work(ops + 1);
+        }
+    }
+    for gi in 0..o.ghost_ids().len() {
+        let av = o.a_ghost(gi);
+        for &u in av {
+            let (c, ops) = merge_count(av, o.a_owned(u));
+            exact_local += c;
+            ctx.add_work(ops + 1);
+        }
+    }
+    let contracted = o.contracted();
+    ctx.end_phase("local");
+
+    // approximate global phase: per destination PE j, send the heads
+    // A(v) ∩ V_j explicitly plus a sketch of the full contracted A(v):
+    // payload = [tag, v, |heads|, heads..., filter words...]
+    let delta = cfg.resolve_delta(lg.num_local_entries());
+    let mut q = MessageQueue::new(
+        ctx,
+        QueueConfig {
+            delta,
+            routing: cfg.routing,
+        },
+    );
+    let part = o.partition().clone();
+    let mut raw = 0u64;
+    let mut corrected = 0.0f64;
+    let handler = |contracted: &tricount_graph::dist::ContractedGraph,
+                   ctx: &mut Ctx,
+                   env: Envelope<'_>,
+                   raw: &mut u64,
+                   corrected: &mut f64| {
+        let tag = env.payload[0];
+        let nheads = env.payload[2] as usize;
+        let heads = &env.payload[3..3 + nheads];
+        let fwords = &env.payload[3 + nheads..];
+        enum AnyAmq {
+            B(BloomFilter),
+            S(SingleShotBloom),
+        }
+        let amq = if tag == TAG_BLOOM {
+            AnyAmq::B(BloomFilter::from_words(fwords))
+        } else {
+            AnyAmq::S(SingleShotBloom::from_words(fwords))
+        };
+        let (contains, fpr): (Box<dyn Fn(u64) -> bool>, f64) = match &amq {
+            AnyAmq::B(f) => (Box::new(move |k| f.contains(k)), f.false_positive_rate()),
+            AnyAmq::S(f) => (Box::new(move |k| f.contains(k)), f.false_positive_rate()),
+        };
+        for &u in heads {
+            let au = contracted.a_of(u);
+            let mut pos = 0u64;
+            for &w in au {
+                ctx.add_work(1);
+                if contains(w) {
+                    pos += 1;
+                }
+            }
+            *raw += pos;
+            *corrected += truthful_estimate_unclamped(pos, au.len() as u64, fpr);
+        }
+    };
+
+    let mut scratch: Vec<u64> = Vec::new();
+    for (v, a) in contracted.nonempty() {
+        // build the sketch of A(v) once per vertex
+        let filter_words: Vec<u64> = match acfg.filter {
+            FilterKind::Bloom => {
+                let mut f = BloomFilter::new(a.len(), acfg.bits_per_key);
+                for &w in a {
+                    f.insert(w);
+                }
+                f.to_words()
+            }
+            FilterKind::SingleShot => {
+                let mut f = SingleShotBloom::new(a.len(), acfg.bits_per_key, 4);
+                for &w in a {
+                    f.insert(w);
+                }
+                f.to_words()
+            }
+        };
+        let tag = match acfg.filter {
+            FilterKind::Bloom => TAG_BLOOM,
+            FilterKind::SingleShot => TAG_SINGLE_SHOT,
+        };
+        // group heads by destination rank (contiguous in the sorted list)
+        let mut i = 0usize;
+        while i < a.len() {
+            let j = part.rank_of(a[i]);
+            let mut k = i + 1;
+            while k < a.len() && part.rank_of(a[k]) == j {
+                k += 1;
+            }
+            scratch.clear();
+            scratch.push(tag);
+            scratch.push(v);
+            scratch.push((k - i) as u64);
+            scratch.extend_from_slice(&a[i..k]);
+            scratch.extend_from_slice(&filter_words);
+            q.post(ctx, j, &scratch);
+            while q.poll(ctx, &mut |ctx, env| {
+                handler(&contracted, ctx, env, &mut raw, &mut corrected)
+            }) {}
+            i = k;
+        }
+    }
+    q.finish(ctx, &mut |ctx, env| {
+        handler(&contracted, ctx, env, &mut raw, &mut corrected)
+    });
+    ctx.end_phase("global");
+
+    RankOutput {
+        exact_local,
+        type3_raw: raw,
+        type3_corrected: corrected,
+    }
+}
+
+/// Runs the approximate count on a partitioned graph.
+pub fn approx_on(dg: DistGraph, cfg: &DistConfig, acfg: &ApproxConfig) -> ApproxResult {
+    let p = dg.num_ranks();
+    let cells = into_cells(dg);
+    let out = run(p, |ctx| {
+        let lg = cells[ctx.rank()]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("local graph already taken");
+        run_rank(ctx, lg, cfg, acfg)
+    });
+    let exact_local: u64 = out.results.iter().map(|r| r.exact_local).sum();
+    let type3_raw: u64 = out.results.iter().map(|r| r.type3_raw).sum();
+    // clamp only the aggregate: per-intersection clamping would bias upward
+    let type3_corrected: f64 = out
+        .results
+        .iter()
+        .map(|r| r.type3_corrected)
+        .sum::<f64>()
+        .max(0.0);
+    ApproxResult {
+        exact_local,
+        type3_raw,
+        type3_corrected,
+        estimate: exact_local as f64 + type3_corrected,
+        stats: out.stats,
+    }
+}
+
+/// Convenience driver: partitions `g` over `p` PEs and runs the approximate
+/// count.
+pub fn approx(
+    g: &tricount_graph::Csr,
+    p: usize,
+    cfg: &DistConfig,
+    acfg: &ApproxConfig,
+) -> ApproxResult {
+    approx_on(DistGraph::new_balanced_vertices(g, p), cfg, acfg)
+}

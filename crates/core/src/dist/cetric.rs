@@ -1,0 +1,112 @@
+//! CETRIC (paper §IV-C, Algorithm 3): the communication-efficient,
+//! contraction-based two-phase variant of DITRIC.
+//!
+//! * **Local phase** — runs on the *expanded local graph* (owned vertices
+//!   plus ghosts, ghost neighborhoods rewired from incoming cut edges) and
+//!   finds every type-1 and type-2 triangle without any communication.
+//! * **Contraction** — drops all non-cut oriented edges; by Lemma 1 the
+//!   remaining cut graph `∂G` contains exactly the type-3 triangles.
+//! * **Global phase** — DITRIC's sparse all-to-all over the *contracted*
+//!   neighborhoods, making the communication volume proportional to the cut
+//!   instead of the full input.
+
+use tricount_comm::{Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_graph::dist::{ContractedGraph, LocalGraph};
+use tricount_graph::intersect::merge_count;
+
+use crate::config::DistConfig;
+use crate::dist::preprocess;
+
+/// Runs CETRIC on this rank; returns the global triangle count.
+pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
+    preprocess(ctx, &mut lg, cfg);
+    // Expanded local graph: ghosts get their locally visible oriented
+    // neighborhoods (no communication — §IV-D "rewiring incoming cut
+    // edges").
+    let o = lg.orient(cfg.ordering, true);
+    ctx.end_phase("preprocessing");
+
+    // Local phase (Algorithm 3 lines 5–7): every v ∈ V_i ∪ ∂V_i, every
+    // u ∈ A(v); both neighborhoods are locally available by construction.
+    let mut local_count = 0u64;
+    for v in o.owned_range() {
+        let av = o.a_owned(v);
+        for &u in av {
+            let au = o.a_of(u).expect("head must be owned or ghost");
+            let (c, ops) = merge_count(av, au);
+            local_count += c;
+            ctx.add_work(ops + 1);
+        }
+    }
+    for gi in 0..o.ghost_ids().len() {
+        let av = o.a_ghost(gi);
+        for &u in av {
+            // ghosts' A(v) only contains owned vertices
+            let (c, ops) = merge_count(av, o.a_owned(u));
+            local_count += c;
+            ctx.add_work(ops + 1);
+        }
+    }
+    // Contraction (line 8): keep only oriented cut edges.
+    let contracted = o.contracted();
+    ctx.end_phase("local");
+
+    // Global phase (lines 9–16) on the contracted graph.
+    let delta = cfg.resolve_delta(lg.num_local_entries());
+    let mut q = MessageQueue::new(
+        ctx,
+        QueueConfig {
+            delta,
+            routing: cfg.routing,
+        },
+    );
+    let part = o.partition().clone();
+    let owned = o.owned_range();
+    let mut remote_count = 0u64;
+    let handler = |c: &ContractedGraph,
+                   owned: &std::ops::Range<u64>,
+                   ctx: &mut Ctx,
+                   env: Envelope<'_>,
+                   acc: &mut u64| {
+        // payload = [v, A(v)...] with A(v) contracted; intersect with the
+        // contracted neighborhoods of local heads (line 15–16)
+        let a = &env.payload[1..];
+        for &u in a {
+            if owned.contains(&u) {
+                let (cnt, ops) = merge_count(a, c.a_of(u));
+                *acc += cnt;
+                ctx.add_work(ops + 1);
+            }
+        }
+    };
+
+    let mut scratch: Vec<u64> = Vec::new();
+    for (v, a) in contracted.nonempty() {
+        // Surrogate deduplication is not optional here: the receive handler
+        // scans the whole payload for local heads, so a duplicate copy per
+        // head would double count. (`cfg.dedup` only toggles the DITRIC
+        // formats.)
+        let mut last_rank: Option<usize> = None;
+        for &u in a {
+            let j = part.rank_of(u);
+            if last_rank == Some(j) {
+                continue;
+            }
+            last_rank = Some(j);
+            scratch.clear();
+            scratch.push(v);
+            scratch.extend_from_slice(a);
+            q.post(ctx, j, &scratch);
+            while q.poll(ctx, &mut |ctx, env| {
+                handler(&contracted, &owned, ctx, env, &mut remote_count)
+            }) {}
+        }
+    }
+    q.finish(ctx, &mut |ctx, env| {
+        handler(&contracted, &owned, ctx, env, &mut remote_count)
+    });
+
+    let total = ctx.allreduce_sum(&[local_count + remote_count])[0];
+    ctx.end_phase("global");
+    total
+}

@@ -1,0 +1,141 @@
+//! Hybrid (thread × rank) parallelism (paper §IV-D and the appendix's
+//! Fig. 8): for a fixed core budget, fewer MPI ranks each drive `t` worker
+//! threads. The local phase is parallelised *edge-centrically* (the local
+//! directed edge list is chunked into tasks executed by the work-stealing
+//! pool, after Green et al.), which both speeds up the local phase and —
+//! because fewer ranks mean a smaller cut — reduces communication volume.
+//! The global phase stays *funneled*: one thread per rank performs all
+//! communication and the receive-side intersections, which is exactly the
+//! bottleneck the paper reports for its hybrid prototype.
+//!
+//! Work metering: the local phase charges the *maximum* per-worker op count
+//! (the modeled parallel makespan), so modeled times reflect `t`-way
+//! parallel execution on the single-core host.
+
+use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_graph::dist::{DistGraph, LocalGraph};
+use tricount_graph::intersect::merge_count;
+use tricount_graph::VertexId;
+use tricount_par::Pool;
+
+use crate::config::DistConfig;
+use crate::dist::{into_cells, preprocess};
+use crate::result::CountResult;
+
+/// Edge chunk size per task (small enough for stealing to balance hubs).
+const TASK_EDGES: usize = 128;
+
+/// Runs the hybrid DITRIC variant on this rank with `threads` workers.
+pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig, threads: usize) -> u64 {
+    let pool = Pool::new(threads);
+    preprocess(ctx, &mut lg, cfg);
+    let o = lg.orient(cfg.ordering, false);
+    ctx.end_phase("preprocessing");
+
+    // Edge-centric local phase: all directed (v, u) with u local, chunked.
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for v in o.owned_range() {
+        for &u in o.a_owned(v) {
+            if o.is_owned(u) {
+                edges.push((v, u));
+            }
+        }
+    }
+    let tasks: Vec<Vec<(VertexId, VertexId)>> =
+        edges.chunks(TASK_EDGES).map(|c| c.to_vec()).collect();
+    let o_ref = &o;
+    let results = pool.run_tasks(tasks, move |_idx, chunk| {
+        let mut count = 0u64;
+        let mut ops = 0u64;
+        for (v, u) in chunk {
+            let (c, w) = merge_count(o_ref.a_owned(v), o_ref.a_owned(u));
+            count += c;
+            ops += w + 1;
+        }
+        (count, ops)
+    });
+    let mut local_count = 0u64;
+    let mut worker_ops = vec![0u64; threads];
+    for r in &results {
+        local_count += r.result.0;
+        worker_ops[r.worker] += r.result.1;
+    }
+    // modeled parallel time: the busiest worker
+    ctx.add_work(worker_ops.iter().copied().max().unwrap_or(0));
+    ctx.end_phase("local");
+
+    // Funneled global phase — identical to single-threaded DITRIC.
+    let delta = cfg.resolve_delta(lg.num_local_entries());
+    let mut q = MessageQueue::new(
+        ctx,
+        QueueConfig {
+            delta,
+            routing: cfg.routing,
+        },
+    );
+    let part = o.partition().clone();
+    let mut remote_count = 0u64;
+    let handler = |o: &tricount_graph::dist::OrientedLocalGraph,
+                   ctx: &mut Ctx,
+                   env: Envelope<'_>,
+                   acc: &mut u64| {
+        let a = &env.payload[1..];
+        for &u in a {
+            if o.is_owned(u) {
+                let (c, ops) = merge_count(a, o.a_owned(u));
+                *acc += c;
+                ctx.add_work(ops + 1);
+            }
+        }
+    };
+    let mut scratch: Vec<u64> = Vec::new();
+    for v in o.owned_range() {
+        let av = o.a_owned(v);
+        let mut last_rank: Option<usize> = None;
+        for &u in av {
+            if o.is_owned(u) {
+                continue;
+            }
+            let j = part.rank_of(u);
+            if last_rank == Some(j) {
+                continue;
+            }
+            last_rank = Some(j);
+            scratch.clear();
+            scratch.push(v);
+            scratch.extend_from_slice(av);
+            q.post(ctx, j, &scratch);
+            while q.poll(ctx, &mut |ctx, env| handler(&o, ctx, env, &mut remote_count)) {}
+        }
+    }
+    q.finish(ctx, &mut |ctx, env| handler(&o, ctx, env, &mut remote_count));
+    let total = ctx.allreduce_sum(&[local_count + remote_count])[0];
+    ctx.end_phase("global");
+    total
+}
+
+/// Drives a hybrid run with a fixed core budget: `cores = ranks × threads`.
+/// Panics unless `threads` divides `cores`.
+pub fn count_hybrid(
+    g: &tricount_graph::Csr,
+    cores: usize,
+    threads: usize,
+    cfg: &DistConfig,
+) -> CountResult {
+    assert!(threads >= 1 && cores % threads == 0, "cores must be ranks × threads");
+    let p = cores / threads;
+    let dg = DistGraph::new_balanced_vertices(g, p);
+    let cells = into_cells(dg);
+    let out = run(p, |ctx| {
+        let lg = cells[ctx.rank()]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("local graph already taken");
+        run_rank(ctx, lg, cfg, threads)
+    });
+    CountResult {
+        triangles: out.results[0],
+        stats: out.stats,
+    }
+}

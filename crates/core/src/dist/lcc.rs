@@ -1,0 +1,202 @@
+//! Distributed per-vertex triangle counts and local clustering coefficients
+//! (the extension of paper §IV-E).
+//!
+//! The CETRIC pipeline finds each triangle exactly once; whenever one is
+//! found, all three corners' `Δ`-counters are incremented. Counters of ghost
+//! vertices accumulate locally and are aggregated to their owners in a
+//! postprocessing all-to-all "analogous to the initial degree exchange".
+
+use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_graph::dist::{DistGraph, LocalGraph};
+use tricount_graph::intersect::merge_collect;
+use tricount_graph::VertexId;
+
+use crate::config::DistConfig;
+use crate::dist::{into_cells, preprocess};
+use crate::result::LccResult;
+
+/// Per-rank Δ accumulator over owned and ghost vertices.
+struct DeltaAcc {
+    start: VertexId,
+    owned: Vec<u64>,
+    ghost_ids: Vec<VertexId>,
+    ghosts: Vec<u64>,
+}
+
+impl DeltaAcc {
+    fn bump(&mut self, v: VertexId) {
+        if v >= self.start && ((v - self.start) as usize) < self.owned.len() {
+            self.owned[(v - self.start) as usize] += 1;
+        } else {
+            let gi = self
+                .ghost_ids
+                .binary_search(&v)
+                .expect("triangle corner is neither owned nor ghost");
+            self.ghosts[gi] += 1;
+        }
+    }
+}
+
+/// Runs the CETRIC-based per-vertex count on this rank. Returns this PE's
+/// owned `Δ` values.
+fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<u64> {
+    preprocess(ctx, &mut lg, cfg);
+    let o = lg.orient(cfg.ordering, true);
+    ctx.end_phase("preprocessing");
+
+    let owned_range = o.owned_range();
+    let mut acc = DeltaAcc {
+        start: owned_range.start,
+        owned: vec![0u64; (owned_range.end - owned_range.start) as usize],
+        ghost_ids: o.ghost_ids().to_vec(),
+        ghosts: vec![0u64; o.ghost_ids().len()],
+    };
+
+    // Local phase: enumerate type-1/2 triangles, bump all three corners.
+    let mut commons: Vec<VertexId> = Vec::new();
+    let mut local_pairs: Vec<(VertexId, &[VertexId])> = Vec::new();
+    for v in owned_range.clone() {
+        local_pairs.push((v, o.a_owned(v)));
+    }
+    for gi in 0..o.ghost_ids().len() {
+        local_pairs.push((o.ghost_ids()[gi], o.a_ghost(gi)));
+    }
+    for &(v, av) in &local_pairs {
+        for &u in av {
+            let au = o.a_of(u).expect("head must be owned or ghost");
+            commons.clear();
+            let ops = merge_collect(av, au, &mut commons);
+            ctx.add_work(ops + 1);
+            for &w in commons.iter() {
+                acc.bump(v);
+                acc.bump(u);
+                acc.bump(w);
+            }
+        }
+    }
+    let contracted = o.contracted();
+    ctx.end_phase("local");
+
+    // Global phase: type-3 triangles, again bumping all three corners
+    // (v and w are ghosts of the receiving PE).
+    let delta = cfg.resolve_delta(lg.num_local_entries());
+    let mut q = MessageQueue::new(
+        ctx,
+        QueueConfig {
+            delta,
+            routing: cfg.routing,
+        },
+    );
+    let part = o.partition().clone();
+    let handler = |acc: &mut DeltaAcc,
+                   contracted: &tricount_graph::dist::ContractedGraph,
+                   owned: &std::ops::Range<u64>,
+                   ctx: &mut Ctx,
+                   env: Envelope<'_>,
+                   commons: &mut Vec<VertexId>| {
+        let v = env.payload[0];
+        let a = &env.payload[1..];
+        for &u in a {
+            if owned.contains(&u) {
+                commons.clear();
+                let ops = merge_collect(a, contracted.a_of(u), commons);
+                ctx.add_work(ops + 1);
+                for &w in commons.iter() {
+                    acc.bump(v);
+                    acc.bump(u);
+                    acc.bump(w);
+                }
+            }
+        }
+    };
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut commons2: Vec<VertexId> = Vec::new();
+    for (v, a) in contracted.nonempty() {
+        let mut last_rank: Option<usize> = None;
+        for &u in a {
+            let j = part.rank_of(u);
+            if last_rank == Some(j) {
+                continue;
+            }
+            last_rank = Some(j);
+            scratch.clear();
+            scratch.push(v);
+            scratch.extend_from_slice(a);
+            q.post(ctx, j, &scratch);
+            while q.poll(ctx, &mut |ctx, env| {
+                handler(&mut acc, &contracted, &owned_range, ctx, env, &mut commons2)
+            }) {}
+        }
+    }
+    q.finish(ctx, &mut |ctx, env| {
+        handler(&mut acc, &contracted, &owned_range, ctx, env, &mut commons2)
+    });
+    ctx.end_phase("global");
+
+    // Postprocessing: ship ghost Δ contributions to their owners
+    // ([id, delta] pairs), analogous to the degree exchange.
+    let p = ctx.num_ranks();
+    let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); p];
+    for (gi, &g) in acc.ghost_ids.iter().enumerate() {
+        if acc.ghosts[gi] > 0 {
+            let r = part.rank_of(g);
+            outgoing[r].push(g);
+            outgoing[r].push(acc.ghosts[gi]);
+        }
+    }
+    let incoming = ctx.alltoallv(outgoing);
+    for part_in in incoming {
+        for pair in part_in.chunks_exact(2) {
+            let (v, d) = (pair[0], pair[1]);
+            acc.owned[(v - acc.start) as usize] += d;
+        }
+    }
+    ctx.end_phase("postprocess");
+    acc.owned
+}
+
+/// Runs the distributed per-vertex count / LCC computation on a partitioned
+/// graph. `degrees` must be the global degree vector (used only for the
+/// final LCC normalisation).
+pub fn lcc_on(dg: DistGraph, cfg: &DistConfig, degrees: &[u64]) -> LccResult {
+    let p = dg.num_ranks();
+    let cells = into_cells(dg);
+    let out = run(p, |ctx| {
+        let lg = cells[ctx.rank()]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("local graph already taken");
+        run_rank(ctx, lg, cfg)
+    });
+    let mut per_vertex = Vec::with_capacity(degrees.len());
+    for owned in out.results {
+        per_vertex.extend(owned);
+    }
+    assert_eq!(per_vertex.len(), degrees.len());
+    let triangles = per_vertex.iter().sum::<u64>() / 3;
+    let lcc = per_vertex
+        .iter()
+        .zip(degrees)
+        .map(|(&d3, &deg)| {
+            if deg < 2 {
+                0.0
+            } else {
+                d3 as f64 / (deg * (deg - 1) / 2) as f64
+            }
+        })
+        .collect();
+    LccResult {
+        triangles,
+        per_vertex,
+        lcc,
+        stats: out.stats,
+    }
+}
+
+/// Convenience driver: partitions `g` over `p` PEs and computes per-vertex
+/// counts and LCCs.
+pub fn lcc(g: &tricount_graph::Csr, p: usize, cfg: &DistConfig) -> LccResult {
+    let degrees = g.degrees();
+    lcc_on(DistGraph::new_balanced_vertices(g, p), cfg, &degrees)
+}

@@ -1,0 +1,98 @@
+//! A minimal Fx-style hasher for integer-keyed maps.
+//!
+//! The hot maps in this workspace are keyed by `u64` vertex ids or `usize`
+//! ranks. SipHash (the std default) is needlessly slow for those; this is the
+//! classic multiply-rotate Fx construction used by rustc, implemented in-tree
+//! so that no external dependency is required.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, non-DoS-resistant hasher for integer keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        // Sanity: the hasher should not collapse small integer keys.
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert!(seen.len() > 9_990, "too many collisions: {}", seen.len());
+    }
+
+    #[test]
+    fn write_bytes_matches_words_for_aligned_input() {
+        let mut a = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        let mut b = FxHasher::default();
+        b.write(&0xdead_beefu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,159 @@
+//! Counting set intersections of sorted vertex-id lists.
+//!
+//! These are the innermost kernels of every EDGEITERATOR variant. Each
+//! function returns `(count, ops)` where `ops` is the number of candidate
+//! comparisons performed — the unit of "local work" metered by the machine
+//! model (`CostModel::t_op`).
+
+use crate::VertexId;
+
+/// Merge-based intersection count of two sorted, duplicate-free lists
+/// (the "merge phase of merge sort" procedure from §III).
+#[inline]
+pub fn merge_count(a: &[VertexId], b: &[VertexId]) -> (u64, u64) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut count = 0u64;
+    let mut ops = 0u64;
+    while i < a.len() && j < b.len() {
+        ops += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (count, ops)
+}
+
+/// Merge intersection that also *reports* the common elements (used for
+/// triangle enumeration and per-vertex counting, where the third vertex of
+/// each triangle must be known).
+#[inline]
+pub fn merge_collect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) -> u64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut ops = 0u64;
+    while i < a.len() && j < b.len() {
+        ops += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    ops
+}
+
+/// Binary-search based intersection: probes each element of the smaller list
+/// in the larger one. Wins when the lists have very different lengths
+/// (GPU-style kernels in the paper's §III-C favour this shape).
+#[inline]
+pub fn binary_search_count(a: &[VertexId], b: &[VertexId]) -> (u64, u64) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.is_empty() || small.is_empty() {
+        return (0, 0);
+    }
+    let mut count = 0u64;
+    let mut ops = 0u64;
+    let log = (usize::BITS - (large.len()).leading_zeros()) as u64;
+    for &x in small {
+        ops += log;
+        if large.binary_search(&x).is_ok() {
+            count += 1;
+        }
+    }
+    (count, ops)
+}
+
+/// Galloping (exponential-search) intersection — adaptive between merge and
+/// binary search; used as an ablation kernel.
+#[inline]
+pub fn gallop_count(a: &[VertexId], b: &[VertexId]) -> (u64, u64) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0u64;
+    let mut ops = 0u64;
+    let mut cur = 0usize;
+    for &x in small {
+        if cur >= large.len() {
+            break;
+        }
+        // exponential search for an upper bound on x's position in large[cur..]
+        let mut bound = 1usize;
+        while cur + bound < large.len() && large[cur + bound] < x {
+            ops += 1;
+            bound *= 2;
+        }
+        let hi = (cur + bound + 1).min(large.len());
+        ops += 1;
+        match large[cur..hi].binary_search(&x) {
+            Ok(pos) => {
+                count += 1;
+                cur += pos + 1;
+            }
+            Err(pos) => {
+                cur += pos;
+            }
+        }
+    }
+    (count, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[VertexId], b: &[VertexId]) -> u64 {
+        a.iter().filter(|x| b.contains(x)).count() as u64
+    }
+
+    #[test]
+    fn merge_matches_naive() {
+        let a = vec![1, 3, 5, 7, 9, 11];
+        let b = vec![2, 3, 4, 7, 11, 20];
+        assert_eq!(merge_count(&a, &b).0, naive(&a, &b));
+    }
+
+    #[test]
+    fn all_kernels_agree() {
+        let cases: &[(&[VertexId], &[VertexId])] = &[
+            (&[], &[]),
+            (&[1], &[]),
+            (&[], &[1]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[1, 5, 9], &[2, 6, 10]),
+            (&[0, 2, 4, 6, 8, 10, 12], &[5, 6]),
+            (&[7], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+        ];
+        for (a, b) in cases {
+            let expect = naive(a, b);
+            assert_eq!(merge_count(a, b).0, expect, "merge {a:?} {b:?}");
+            assert_eq!(binary_search_count(a, b).0, expect, "bsearch {a:?} {b:?}");
+            assert_eq!(gallop_count(a, b).0, expect, "gallop {a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn merge_collect_reports_elements() {
+        let a = vec![1, 3, 5, 7];
+        let b = vec![3, 4, 7, 8];
+        let mut out = Vec::new();
+        merge_collect(&a, &b, &mut out);
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn merge_ops_bounded_by_sum_of_lengths() {
+        let a: Vec<VertexId> = (0..100).map(|i| i * 2).collect();
+        let b: Vec<VertexId> = (0..100).map(|i| i * 3).collect();
+        let (_, ops) = merge_count(&a, &b);
+        assert!(ops <= (a.len() + b.len()) as u64);
+        assert!(ops >= a.len().min(b.len()) as u64);
+    }
+}

@@ -1,0 +1,163 @@
+//! Graph I/O: a plain-text edge-list format and a compact binary format.
+//!
+//! The text format is one `u v` pair per line, `#`-prefixed comment lines
+//! allowed — the format SNAP datasets (live-journal, orkut, …) ship in.
+//! The binary format is a little-endian `[magic, n, m, (u, v)*]` stream of
+//! u64 words for fast reloading of generated instances.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+
+const BIN_MAGIC: u64 = 0x5452_4943_4e54_0001; // "TRICNT" v1
+
+/// Reads a SNAP-style text edge list from `r`. Lines starting with `#` or
+/// `%` are skipped; tokens are whitespace-separated.
+pub fn read_text_edges<R: Read>(r: R) -> io::Result<EdgeList> {
+    let mut el = EdgeList::new();
+    let reader = BufReader::new(r);
+    let mut line = String::new();
+    let mut reader = reader;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge line: {t:?}"),
+                ))
+            }
+        };
+        let parse = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad id {s:?}: {e}")))
+        };
+        el.push(parse(u)?, parse(v)?);
+    }
+    Ok(el)
+}
+
+/// Writes a canonical edge list as text.
+pub fn write_text_edges<W: Write>(w: W, el: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for &(u, v) in el.pairs() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a graph in the binary format.
+pub fn write_binary<W: Write>(w: W, g: &Csr) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let el = g.to_edge_list();
+    w.write_all(&BIN_MAGIC.to_le_bytes())?;
+    w.write_all(&g.num_vertices().to_le_bytes())?;
+    w.write_all(&(el.len() as u64).to_le_bytes())?;
+    for &(u, v) in el.pairs() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a graph from the binary format.
+pub fn read_binary<R: Read>(r: R) -> io::Result<Csr> {
+    let mut r = BufReader::new(r);
+    let mut word = [0u8; 8];
+    let mut next = |r: &mut BufReader<R>| -> io::Result<u64> {
+        r.read_exact(&mut word)?;
+        Ok(u64::from_le_bytes(word))
+    };
+    let magic = next(&mut r)?;
+    if magic != BIN_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let n = next(&mut r)?;
+    let m = next(&mut r)?;
+    let mut el = EdgeList::new();
+    for _ in 0..m {
+        let u = next(&mut r)?;
+        let v = next(&mut r)?;
+        if u >= n || v >= n {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "edge id out of range"));
+        }
+        el.push(u, v);
+    }
+    el.canonicalize();
+    Ok(Csr::from_edges(n, &el))
+}
+
+/// Convenience: load a graph from a path, dispatching on extension
+/// (`.bin` → binary, anything else → text edge list).
+pub fn load_graph<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    let path = path.as_ref();
+    let f = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        read_binary(f)
+    } else {
+        let mut el = read_text_edges(f)?;
+        el.canonicalize();
+        let n = el.num_vertices();
+        Ok(Csr::from_edges(n, &el))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        let mut el = EdgeList::from_pairs(vec![(0, 1), (1, 2), (0, 2), (2, 3)]);
+        el.canonicalize();
+        Csr::from_edges(4, &el)
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_text_edges(&mut buf, &g.to_edge_list()).unwrap();
+        let mut el = read_text_edges(&buf[..]).unwrap();
+        el.canonicalize();
+        assert_eq!(Csr::from_edges(4, &el), g);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let data = "# comment\n% other comment\n\n0 1\n1 2\n";
+        let el = read_text_edges(data.as_bytes()).unwrap();
+        assert_eq!(el.pairs(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text_edges("0\n".as_bytes()).is_err());
+        assert!(read_text_edges("a b\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = [0u8; 24];
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph substrate for the distributed triangle counting reproduction.
+//!
+//! This crate provides everything the algorithms in `tricount-core` need to
+//! *represent* graphs, both sequentially and as 1D-partitioned distributed
+//! graphs in the sense of Sanders & Uhl (IPDPS 2023), §II-B:
+//!
+//! * [`Csr`] — the *adjacency array* format: neighborhoods stored compressed
+//!   in two arrays, neighborhoods sorted by vertex id.
+//! * [`EdgeList`] utilities — deduplication, symmetrization, self-loop
+//!   removal, isolated-vertex removal (the paper removes degree-0 vertices).
+//! * [`Ordering`](ordering) — the degree-based total order `≺` used by
+//!   COMPACT-FORWARD-style orientation, and plain id order.
+//! * [`Partition`] — contiguous (globally id-sorted) 1D vertex partitions,
+//!   balanced by vertex count or by edge count.
+//! * [`LocalGraph`] — the per-PE view: owned vertices with
+//!   full neighborhoods, *ghost* vertices, *interface* vertices, *cut edges*,
+//!   the *expanded local graph* (ghost neighborhoods rewired from incoming
+//!   cut edges) and the *contraction* to the cut graph `∂G` (paper §IV-C).
+//! * [`intersect`] — counting merge/hash intersections of sorted id lists,
+//!   instrumented so callers can meter local work in "candidate comparisons".
+//!
+//! Vertex ids are global `u64` machine words throughout, matching the
+//! machine-word based communication-volume accounting of the paper.
+
+#![warn(missing_docs)]
+
+pub mod compressed;
+pub mod csr;
+pub mod dist;
+pub mod edgelist;
+pub mod hash;
+pub mod intersect;
+pub mod io;
+pub mod ordering;
+pub mod partition;
+pub mod stats;
+
+pub use csr::Csr;
+pub use dist::{DistGraph, GhostInfo, LocalGraph};
+pub use edgelist::EdgeList;
+pub use ordering::{OrdKey, OrderingKind};
+pub use partition::Partition;
+
+/// A global vertex identifier (one machine word, as in the paper's model).
+pub type VertexId = u64;

@@ -1,0 +1,186 @@
+//! The total orders `≺` used to orient the undirected input graph (paper
+//! §II-A and §III).
+//!
+//! Orientation directs every edge from the `≺`-smaller to the `≺`-larger
+//! endpoint, so each triangle is discovered exactly once (from its
+//! `≺`-minimal vertex). COMPACT-FORWARD uses the degree-based order
+//!
+//! ```text
+//! u ≺ v  ⇔  d_u < d_v,  or  d_u = d_v and u < v
+//! ```
+//!
+//! which additionally caps the out-degree of high-degree vertices.
+//!
+//! Oriented neighborhoods `N_v⁺` are kept sorted by *vertex id* (not by
+//! `≺`-rank): the order only decides membership, while intersections merge on
+//! ids. This matters in the distributed setting, where a received
+//! neighborhood may contain vertices whose degree the receiver does not know.
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// Which total order `≺` to orient by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderingKind {
+    /// Degree order with id tie-break (COMPACT-FORWARD; the paper's default).
+    #[default]
+    Degree,
+    /// Plain vertex-id order (what the basic distributed EDGEITERATOR of
+    /// Algorithm 2 degenerates to when degrees are ignored).
+    Id,
+}
+
+/// A comparable key realising `≺`: lexicographic `(degree, id)` for the
+/// degree order, `(0, id)` for the id order. Total and antisymmetric for
+/// distinct vertices by the id tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrdKey {
+    /// Degree component (0 for [`OrderingKind::Id`]).
+    pub degree: u64,
+    /// Vertex id tie-break.
+    pub id: VertexId,
+}
+
+impl OrdKey {
+    /// Builds the key for vertex `v` with degree `deg` under `kind`.
+    #[inline]
+    pub fn new(kind: OrderingKind, v: VertexId, deg: u64) -> Self {
+        match kind {
+            OrderingKind::Degree => OrdKey { degree: deg, id: v },
+            OrderingKind::Id => OrdKey { degree: 0, id: v },
+        }
+    }
+}
+
+/// Orients `g` by `kind`: the result stores, for each vertex `v`, the
+/// outgoing neighborhood `N_v⁺ = { u ∈ N_v | v ≺ u }`, sorted by id.
+pub fn orient(g: &Csr, kind: OrderingKind) -> Csr {
+    let degs = g.degrees();
+    let key = |v: VertexId| OrdKey::new(kind, v, degs[v as usize]);
+    let lists: Vec<Vec<VertexId>> = g
+        .vertices()
+        .map(|v| {
+            let kv = key(v);
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| key(u) > kv)
+                .collect()
+        })
+        .collect();
+    Csr::from_neighbor_lists(lists)
+}
+
+/// Relabels the vertices of `g` so that the degree order coincides with the
+/// id order in the new graph (ids assigned by ascending `(degree, id)`).
+/// Returns the relabeled graph and the permutation `new_id → old_id`.
+///
+/// This is the classic sequential COMPACT-FORWARD preprocessing; provided to
+/// cross-check the filter-based [`orient`] in tests.
+pub fn relabel_by_degree(g: &Csr) -> (Csr, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.sort_unstable_by_key(|&v| (g.degree(v), v));
+    let mut new_of_old = vec![0 as VertexId; n as usize];
+    for (new, &old) in order.iter().enumerate() {
+        new_of_old[old as usize] = new as VertexId;
+    }
+    let mut el = crate::edgelist::EdgeList::new();
+    for (u, v) in g.edges() {
+        el.push(new_of_old[u as usize], new_of_old[v as usize]);
+    }
+    el.canonicalize();
+    (Csr::from_edges(n, &el), order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn path_star() -> Csr {
+        // star center 0 with leaves 1,2,3 plus edge 1-2
+        let mut el = EdgeList::from_pairs(vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+        el.canonicalize();
+        Csr::from_edges(4, &el)
+    }
+
+    #[test]
+    fn degree_orientation_points_to_higher_degree() {
+        let g = path_star();
+        let o = orient(&g, OrderingKind::Degree);
+        // degrees: 0→3, 1→2, 2→2, 3→1
+        // 3 (deg1) points at 0; 1 (deg2) points at 2 (tie id) and 0; 2 points at 0.
+        assert_eq!(o.neighbors(3), &[0]);
+        assert_eq!(o.neighbors(1), &[0, 2]);
+        assert_eq!(o.neighbors(2), &[0]);
+        assert_eq!(o.neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn id_orientation_points_to_higher_ids() {
+        let g = path_star();
+        let o = orient(&g, OrderingKind::Id);
+        assert_eq!(o.neighbors(0), &[1, 2, 3]);
+        assert_eq!(o.neighbors(1), &[2]);
+        assert_eq!(o.neighbors(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn orientation_preserves_edge_count() {
+        let g = path_star();
+        for kind in [OrderingKind::Degree, OrderingKind::Id] {
+            let o = orient(&g, kind);
+            assert_eq!(o.num_directed_edges(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let g = path_star();
+        let o = orient(&g, OrderingKind::Degree);
+        for (u, v) in o.directed_edges() {
+            assert!(
+                !o.neighbors(v).contains(&u),
+                "both ({u},{v}) and ({v},{u}) oriented"
+            );
+        }
+    }
+
+    #[test]
+    fn ordkey_is_total_for_distinct_vertices() {
+        for kind in [OrderingKind::Degree, OrderingKind::Id] {
+            let a = OrdKey::new(kind, 1, 5);
+            let b = OrdKey::new(kind, 2, 5);
+            assert_ne!(a, b);
+            assert!(a < b || b < a);
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = path_star();
+        let (r, perm) = relabel_by_degree(&g);
+        assert_eq!(r.num_vertices(), g.num_vertices());
+        assert_eq!(r.num_edges(), g.num_edges());
+        // degrees multiset preserved
+        let mut d1 = g.degrees();
+        let mut d2 = r.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+        // new ids sorted by old (degree, id)
+        for w in perm.windows(2) {
+            assert!((g.degree(w[0]), w[0]) < (g.degree(w[1]), w[1]));
+        }
+        // relabeled degree order == id order: orient by id must give same
+        // out-degree distribution as orienting original by degree.
+        let o1 = orient(&g, OrderingKind::Degree);
+        let o2 = orient(&r, OrderingKind::Id);
+        let mut od1: Vec<u64> = o1.vertices().map(|v| o1.degree(v)).collect();
+        let mut od2: Vec<u64> = o2.vertices().map(|v| o2.degree(v)).collect();
+        od1.sort_unstable();
+        od2.sort_unstable();
+        assert_eq!(od1, od2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Descriptive graph statistics: the quantities Table I reports (n, m,
+//! wedges) plus the degree-distribution summaries used to characterise the
+//! instance families (skew, hubs) and the global clustering coefficient.
+
+use crate::csr::Csr;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: u64,
+    /// Number of undirected edges.
+    pub m: u64,
+    /// Number of wedges `Σ d(d−1)/2`.
+    pub wedges: u64,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: u64,
+    /// Median degree.
+    pub median_degree: u64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: u64,
+}
+
+impl GraphStats {
+    /// Computes the summary for `g`.
+    pub fn of(g: &Csr) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut degs = g.degrees();
+        degs.sort_unstable();
+        GraphStats {
+            n,
+            m,
+            wedges: g.num_wedges(),
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            max_degree: degs.last().copied().unwrap_or(0),
+            median_degree: if degs.is_empty() { 0 } else { degs[degs.len() / 2] },
+            isolated: degs.iter().take_while(|&&d| d == 0).count() as u64,
+        }
+    }
+
+    /// Degree-skew indicator: `max_degree / avg_degree` (≫ 1 for power-law
+    /// graphs, ≈ 1–3 for roads and GNM).
+    pub fn skew(&self) -> f64 {
+        if self.avg_degree == 0.0 {
+            0.0
+        } else {
+            self.max_degree as f64 / self.avg_degree
+        }
+    }
+}
+
+/// Global clustering coefficient (transitivity) `3T / wedges`, given the
+/// triangle count `t` of the graph.
+pub fn global_clustering_coefficient(g: &Csr, t: u64) -> f64 {
+    let w = g.num_wedges();
+    if w == 0 {
+        0.0
+    } else {
+        3.0 * t as f64 / w as f64
+    }
+}
+
+/// Log₂-binned degree histogram: `hist[b]` counts vertices with
+/// `2^b ≤ degree < 2^(b+1)` (`hist[0]` also includes degree 1; degree-0
+/// vertices are excluded). Useful for eyeballing power-law tails.
+pub fn degree_histogram_log2(g: &Csr) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        if d == 0 {
+            continue;
+        }
+        let b = (63 - d.leading_zeros()) as usize;
+        if hist.len() <= b {
+            hist.resize(b + 1, 0);
+        }
+        hist[b] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn star(leaves: u64) -> Csr {
+        let mut el = EdgeList::from_pairs((1..=leaves).map(|v| (0u64, v)).collect());
+        el.canonicalize();
+        Csr::from_edges(leaves + 1, &el)
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = star(10);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 11);
+        assert_eq!(s.m, 10);
+        assert_eq!(s.max_degree, 10);
+        assert_eq!(s.median_degree, 1);
+        assert_eq!(s.wedges, 45);
+        assert!(s.skew() > 5.0);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::from_edges(0, &EdgeList::new());
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.skew(), 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let mut el = EdgeList::new();
+        el.push(3, 4);
+        el.canonicalize();
+        let g = Csr::from_edges(6, &el);
+        assert_eq!(GraphStats::of(&g).isolated, 4);
+    }
+
+    #[test]
+    fn gcc_of_triangle_is_one() {
+        let mut el = EdgeList::from_pairs(vec![(0, 1), (1, 2), (0, 2)]);
+        el.canonicalize();
+        let g = Csr::from_edges(3, &el);
+        assert_eq!(global_clustering_coefficient(&g, 1), 1.0);
+    }
+
+    #[test]
+    fn gcc_of_path_is_zero() {
+        let mut el = EdgeList::from_pairs(vec![(0, 1), (1, 2)]);
+        el.canonicalize();
+        let g = Csr::from_edges(3, &el);
+        assert_eq!(global_clustering_coefficient(&g, 0), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        // degrees: star(8) → one vertex of degree 8 (bin 3), 8 of degree 1 (bin 0)
+        let g = star(8);
+        let h = degree_histogram_log2(&g);
+        assert_eq!(h[0], 8);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<u64>(), 9);
+    }
+}

@@ -1,0 +1,108 @@
+//! I/O round trips and the dataset proxy catalogue.
+
+use cetric::core::seq;
+use cetric::graph::io;
+use cetric::prelude::*;
+
+#[test]
+fn text_file_roundtrip_preserves_counts() {
+    let g = cetric::gen::gnm(300, 2400, 5);
+    let path = std::env::temp_dir().join("tricount_test_edges.txt");
+    {
+        let f = std::fs::File::create(&path).unwrap();
+        io::write_text_edges(f, &g.to_edge_list()).unwrap();
+    }
+    let g2 = io::load_graph(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(g2.num_edges(), g.num_edges());
+    assert_eq!(
+        seq::compact_forward(&g2).triangles,
+        seq::compact_forward(&g).triangles
+    );
+}
+
+#[test]
+fn binary_file_roundtrip_is_exact() {
+    let g = Dataset::Orkut.generate(512, 9);
+    let path = std::env::temp_dir().join("tricount_test_graph.bin");
+    {
+        let f = std::fs::File::create(&path).unwrap();
+        io::write_binary(f, &g).unwrap();
+    }
+    let g2 = io::load_graph(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(g, g2);
+}
+
+#[test]
+fn snap_style_comments_are_tolerated() {
+    let data = "# Directed graph (each unordered pair of nodes is saved once)\n\
+                # FromNodeId\tToNodeId\n\
+                0\t1\n1\t2\n2\t0\n";
+    let mut el = io::read_text_edges(data.as_bytes()).unwrap();
+    el.canonicalize();
+    let g = Csr::from_edges(3, &el);
+    assert_eq!(seq::compact_forward(&g).triangles, 1);
+}
+
+#[test]
+fn proxy_families_have_table1_character() {
+    // Table I families, qualitatively: social graphs are wedge-heavy and
+    // skewed, web graphs are triangle-dense, road networks are
+    // triangle-sparse with low uniform degree.
+    let n = 2048u64;
+    let social = Dataset::Orkut.generate(n, 1);
+    let web = Dataset::Uk2007.generate(n, 1);
+    let road = Dataset::RoadUsa.generate(n, 1);
+
+    let tri = |g: &Csr| seq::compact_forward(g).triangles;
+    let per_edge = |g: &Csr| tri(g) as f64 / g.num_edges() as f64;
+
+    // web proxy: extreme clustering → far more triangles per edge than road
+    assert!(per_edge(&web) > 20.0 * per_edge(&road).max(1e-9));
+    // road proxy: triangles per edge well below 0.1 (paper: 697k tri / 22M m)
+    assert!(per_edge(&road) < 0.1, "road per-edge {}", per_edge(&road));
+    // social proxy: wedges per vertex far above road's (hubs)
+    assert!(social.num_wedges() / social.num_vertices() > 20 * (road.num_wedges() / road.num_vertices()).max(1));
+}
+
+#[test]
+fn paper_stats_have_expected_magnitudes() {
+    // spot-check the transcription of Table I
+    let lj = Dataset::LiveJournal.paper_stats();
+    assert_eq!(lj.n, 5_000_000);
+    assert_eq!(lj.triangles, 286_000_000);
+    let uk = Dataset::Uk2007.paper_stats();
+    assert_eq!(uk.m, 3_302_000_000);
+    let usa = Dataset::RoadUsa.paper_stats();
+    assert_eq!(usa.triangles, 438_804);
+    // ordering of the table rows
+    let names: Vec<&str> = Dataset::all().iter().map(|d| d.paper_stats().name).collect();
+    assert_eq!(
+        names,
+        vec![
+            "live-journal",
+            "orkut",
+            "twitter",
+            "friendster",
+            "uk-2007-05",
+            "webbase-2001",
+            "europe",
+            "usa"
+        ]
+    );
+}
+
+#[test]
+fn generators_scale_with_n() {
+    for fam in Family::all() {
+        let small = fam.generate(256, 4);
+        let large = fam.generate(1024, 4);
+        assert!(
+            large.num_edges() > 2 * small.num_edges(),
+            "{fam:?}: {} !> 2×{}",
+            large.num_edges(),
+            small.num_edges()
+        );
+    }
+}
