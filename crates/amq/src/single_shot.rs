@@ -22,7 +22,8 @@ impl SingleShotBloom {
     /// bits per key, with `k` bits set per key inside its block.
     pub fn new(expected_keys: usize, bits_per_key: f64, k: u32) -> Self {
         assert!(bits_per_key > 0.0 && (1..=32).contains(&k));
-        let num_blocks = ((expected_keys.max(1) as f64 * bits_per_key / 64.0).ceil() as usize).max(1);
+        let num_blocks =
+            ((expected_keys.max(1) as f64 * bits_per_key / 64.0).ceil() as usize).max(1);
         SingleShotBloom {
             blocks: vec![0u64; num_blocks],
             k,

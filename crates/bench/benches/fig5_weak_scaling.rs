@@ -8,7 +8,7 @@
 //! scaled down by the host budget), total size grows with p.
 
 use cetric::prelude::*;
-use tricount_bench::{run_cell, print_table, Row, Scale};
+use tricount_bench::{print_table, run_cell, Row, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -44,10 +44,11 @@ fn main() {
                 .map(|&alg| {
                     if alg == Algorithm::TricLike {
                         let dg = DistGraph::new_balanced_vertices(&g, p);
-                        let cap = 32 * (0..p)
-                            .map(|r| dg.local(r).num_local_entries())
-                            .max()
-                            .unwrap();
+                        let cap = 32
+                            * (0..p)
+                                .map(|r| dg.local(r).num_local_entries())
+                                .max()
+                                .unwrap();
                         let cfg = DistConfig {
                             memory_limit_words: Some(cap),
                             ..alg.config()

@@ -29,7 +29,11 @@ fn main() {
             // the per-PE slice) — static buffering fails once the outgoing
             // volume outgrows it
             let dg = DistGraph::new_balanced_vertices(&g, p);
-            let cap = 48 * (0..p).map(|r| dg.local(r).num_local_entries()).max().unwrap();
+            let cap = 48
+                * (0..p)
+                    .map(|r| dg.local(r).num_local_entries())
+                    .max()
+                    .unwrap();
             let cells = algs
                 .iter()
                 .map(|&alg| {

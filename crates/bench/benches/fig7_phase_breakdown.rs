@@ -33,23 +33,17 @@ fn main() {
     let n = 1u64 << (11 + scale.shift());
     let p = *scale.pe_counts().last().unwrap();
     // the instances Fig. 7 selects
-    let instances = [Dataset::Friendster, Dataset::LiveJournal, Dataset::Webbase2001];
+    let instances = [
+        Dataset::Friendster,
+        Dataset::LiveJournal,
+        Dataset::Webbase2001,
+    ];
 
     let mut rows = Vec::new();
     for ds in instances {
         let g = ds.generate(n, 42);
-        let (da, d) = best(
-            &g,
-            p,
-            &[Algorithm::Ditric, Algorithm::Ditric2],
-            &model,
-        );
-        let (ca, c) = best(
-            &g,
-            p,
-            &[Algorithm::Cetric, Algorithm::Cetric2],
-            &model,
-        );
+        let (da, d) = best(&g, p, &[Algorithm::Ditric, Algorithm::Ditric2], &model);
+        let (ca, c) = best(&g, p, &[Algorithm::Cetric, Algorithm::Cetric2], &model);
         assert_eq!(d.triangles, c.triangles);
         rows.push(Row {
             label: format!("{} [{}]", ds.paper_stats().name, da.name()),
@@ -73,7 +67,10 @@ fn main() {
             cells: vec![
                 String::new(),
                 String::new(),
-                format!("{:.2}x less w/ CETRIC", gv(&d) as f64 / gv(&c).max(1) as f64),
+                format!(
+                    "{:.2}x less w/ CETRIC",
+                    gv(&d) as f64 / gv(&c).max(1) as f64
+                ),
                 String::new(),
             ],
         });

@@ -1,15 +1,38 @@
-//! Criterion micro-benchmarks of the hot kernels: the set-intersection
-//! variants (§III / §III-C), the oriented preprocessing, the buffered
-//! message queue, and the Bloom filters of the approximate extension.
+//! Micro-benchmarks of the hot kernels: the set-intersection variants
+//! (§III / §III-C), sequential counting, the oriented preprocessing, the
+//! Bloom filters of the approximate extension, and the simulated
+//! distributed pipeline end to end.
+//!
+//! A plain self-timing harness (median of repeated batches over a
+//! monotonic clock) — the workspace builds offline, so there is no
+//! criterion; the other `benches/` targets set the table-printing idiom
+//! this follows.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use cetric::amq::{Amq, BloomFilter, SingleShotBloom};
 use cetric::core::seq;
 use cetric::graph::compressed::CompressedCsr;
 use cetric::graph::intersect::{binary_search_count, gallop_count, merge_count};
 use cetric::graph::ordering::{orient, relabel_by_degree, OrderingKind};
+use tricount_bench::{fmt_time, print_table, Row, Scale};
+
+/// Times `f` as the median over `reps` batches of `batch` calls, returning
+/// seconds per call.
+fn time_per_call<R>(reps: usize, batch: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
 
 fn lists(n: usize, stride_a: u64, stride_b: u64) -> (Vec<u64>, Vec<u64>) {
     (
@@ -18,117 +41,145 @@ fn lists(n: usize, stride_a: u64, stride_b: u64) -> (Vec<u64>, Vec<u64>) {
     )
 }
 
-fn bench_intersections(c: &mut Criterion) {
-    let mut g = c.benchmark_group("intersect");
+/// One intersection micro-benchmark: label plus the kernel to time.
+type Kernel<'a> = Box<dyn Fn() -> u64 + 'a>;
+
+fn bench_intersections(reps: usize, rows: &mut Vec<Row>) {
     let (a, b) = lists(1024, 2, 3);
-    g.bench_function("merge/balanced", |bch| {
-        bch.iter(|| merge_count(black_box(&a), black_box(&b)))
-    });
-    g.bench_function("bsearch/balanced", |bch| {
-        bch.iter(|| binary_search_count(black_box(&a), black_box(&b)))
-    });
-    g.bench_function("gallop/balanced", |bch| {
-        bch.iter(|| gallop_count(black_box(&a), black_box(&b)))
-    });
     let (small, _) = lists(16, 97, 1);
     let large: Vec<u64> = (0..65536u64).collect();
-    g.bench_function("merge/skewed", |bch| {
-        bch.iter(|| merge_count(black_box(&small), black_box(&large)))
-    });
-    g.bench_function("bsearch/skewed", |bch| {
-        bch.iter(|| binary_search_count(black_box(&small), black_box(&large)))
-    });
-    g.bench_function("gallop/skewed", |bch| {
-        bch.iter(|| gallop_count(black_box(&small), black_box(&large)))
-    });
-    g.finish();
+    let cases: [(&str, Kernel); 6] = [
+        (
+            "intersect/merge/balanced",
+            Box::new(|| merge_count(&a, &b).0),
+        ),
+        (
+            "intersect/bsearch/balanced",
+            Box::new(|| binary_search_count(&a, &b).0),
+        ),
+        (
+            "intersect/gallop/balanced",
+            Box::new(|| gallop_count(&a, &b).0),
+        ),
+        (
+            "intersect/merge/skewed",
+            Box::new(|| merge_count(&small, &large).0),
+        ),
+        (
+            "intersect/bsearch/skewed",
+            Box::new(|| binary_search_count(&small, &large).0),
+        ),
+        (
+            "intersect/gallop/skewed",
+            Box::new(|| gallop_count(&small, &large).0),
+        ),
+    ];
+    for (name, f) in cases {
+        let t = time_per_call(reps, 64, &*f);
+        rows.push(Row {
+            label: name.to_string(),
+            cells: vec![fmt_time(t)],
+        });
+    }
 }
 
-fn bench_sequential_counting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("seq_count");
+fn bench_sequential_counting(reps: usize, rows: &mut Vec<Row>) {
     let graph = cetric::gen::rmat_default(12, 7);
-    g.bench_function("compact_forward/rmat12", |bch| {
-        bch.iter(|| seq::compact_forward(black_box(&graph)))
-    });
-    g.bench_function("edge_iterator_id/rmat12", |bch| {
-        bch.iter(|| seq::edge_iterator(black_box(&graph), OrderingKind::Id))
-    });
     let compressed = CompressedCsr::from_csr(&graph);
-    g.bench_function("compact_forward_compressed/rmat12", |bch| {
-        bch.iter(|| seq::compact_forward_compressed(black_box(&compressed)))
+    let t = time_per_call(reps, 2, || seq::compact_forward(black_box(&graph)));
+    rows.push(Row {
+        label: "seq/compact_forward/rmat12".into(),
+        cells: vec![fmt_time(t)],
     });
-    g.finish();
+    let t = time_per_call(reps, 2, || {
+        seq::edge_iterator(black_box(&graph), OrderingKind::Id)
+    });
+    rows.push(Row {
+        label: "seq/edge_iterator_id/rmat12".into(),
+        cells: vec![fmt_time(t)],
+    });
+    let t = time_per_call(reps, 2, || {
+        seq::compact_forward_compressed(black_box(&compressed))
+    });
+    rows.push(Row {
+        label: "seq/compact_forward_compressed/rmat12".into(),
+        cells: vec![fmt_time(t)],
+    });
 }
 
-fn bench_preprocessing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("preprocess");
+fn bench_preprocessing(reps: usize, rows: &mut Vec<Row>) {
     let graph = cetric::gen::rhg_default(1 << 12, 3);
-    g.bench_function("orient_degree", |bch| {
-        bch.iter(|| orient(black_box(&graph), OrderingKind::Degree))
+    let t = time_per_call(reps, 4, || orient(black_box(&graph), OrderingKind::Degree));
+    rows.push(Row {
+        label: "preprocess/orient_degree".into(),
+        cells: vec![fmt_time(t)],
     });
-    g.bench_function("relabel_by_degree", |bch| {
-        bch.iter(|| relabel_by_degree(black_box(&graph)))
+    let t = time_per_call(reps, 4, || relabel_by_degree(black_box(&graph)));
+    rows.push(Row {
+        label: "preprocess/relabel_by_degree".into(),
+        cells: vec![fmt_time(t)],
     });
-    g.finish();
 }
 
-fn bench_bloom(c: &mut Criterion) {
-    let mut g = c.benchmark_group("amq");
+fn bench_bloom(reps: usize, rows: &mut Vec<Row>) {
     let keys: Vec<u64> = (0..256u64).map(|i| i * 7919).collect();
-    g.bench_function("bloom/build+query", |bch| {
-        bch.iter_batched(
-            || keys.clone(),
-            |keys| {
-                let mut f = BloomFilter::new(keys.len(), 8.0);
-                for &k in &keys {
-                    f.insert(k);
-                }
-                keys.iter().filter(|&&k| f.contains(k + 1)).count()
-            },
-            BatchSize::SmallInput,
-        )
+    let t = time_per_call(reps, 16, || {
+        let mut f = BloomFilter::new(keys.len(), 8.0);
+        for &k in &keys {
+            f.insert(k);
+        }
+        keys.iter().filter(|&&k| f.contains(k + 1)).count()
     });
-    g.bench_function("single_shot/build+query", |bch| {
-        bch.iter_batched(
-            || keys.clone(),
-            |keys| {
-                let mut f = SingleShotBloom::new(keys.len(), 8.0, 4);
-                for &k in &keys {
-                    f.insert(k);
-                }
-                keys.iter().filter(|&&k| f.contains(k + 1)).count()
-            },
-            BatchSize::SmallInput,
-        )
+    rows.push(Row {
+        label: "amq/bloom/build+query".into(),
+        cells: vec![fmt_time(t)],
     });
-    g.finish();
+    let t = time_per_call(reps, 16, || {
+        let mut f = SingleShotBloom::new(keys.len(), 8.0, 4);
+        for &k in &keys {
+            f.insert(k);
+        }
+        keys.iter().filter(|&&k| f.contains(k + 1)).count()
+    });
+    rows.push(Row {
+        label: "amq/single_shot/build+query".into(),
+        cells: vec![fmt_time(t)],
+    });
 }
 
-fn bench_distributed_end_to_end(c: &mut Criterion) {
+fn bench_distributed_end_to_end(rows: &mut Vec<Row>) {
     // wall-clock of the whole simulated pipeline (not the modeled time):
     // useful to track regressions of the simulator itself
-    let mut g = c.benchmark_group("dist_e2e");
-    g.sample_size(10);
     let graph = cetric::gen::rgg2d_default(1 << 11, 5);
-    g.bench_function("cetric_p4/rgg2d_2k", |bch| {
-        bch.iter(|| {
-            cetric::core::count(black_box(&graph), 4, cetric::core::Algorithm::Cetric).unwrap()
-        })
-    });
-    g.bench_function("ditric_p4/rgg2d_2k", |bch| {
-        bch.iter(|| {
-            cetric::core::count(black_box(&graph), 4, cetric::core::Algorithm::Ditric).unwrap()
-        })
-    });
-    g.finish();
+    for alg in [
+        cetric::core::Algorithm::Cetric,
+        cetric::core::Algorithm::Ditric,
+    ] {
+        let t = time_per_call(3, 1, || {
+            cetric::core::count(black_box(&graph), 4, alg).unwrap()
+        });
+        rows.push(Row {
+            label: format!("dist_e2e/{}_p4/rgg2d_2k", alg.name()),
+            cells: vec![fmt_time(t)],
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_intersections,
-    bench_sequential_counting,
-    bench_preprocessing,
-    bench_bloom,
-    bench_distributed_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let reps = match Scale::from_env() {
+        Scale::Quick => 3,
+        Scale::Default => 7,
+        Scale::Full => 15,
+    };
+    let mut rows = Vec::new();
+    bench_intersections(reps, &mut rows);
+    bench_sequential_counting(reps, &mut rows);
+    bench_preprocessing(reps, &mut rows);
+    bench_bloom(reps, &mut rows);
+    bench_distributed_end_to_end(&mut rows);
+    print_table(
+        "kernel micro-benchmarks (median wall time)",
+        &["per call"],
+        &rows,
+    );
+}

@@ -28,7 +28,11 @@ fn main() {
                 format!("{} ({})", fmt_count(g.num_vertices()), fmt_count(paper.n)),
                 format!("{} ({})", fmt_count(g.num_edges()), fmt_count(paper.m)),
                 format!("{} ({})", fmt_count(wedges), fmt_count(paper.wedges)),
-                format!("{} ({})", fmt_count(s.triangles), fmt_count(paper.triangles)),
+                format!(
+                    "{} ({})",
+                    fmt_count(s.triangles),
+                    fmt_count(paper.triangles)
+                ),
                 format!(
                     "{:.3} ({:.3})",
                     s.triangles as f64 / g.num_edges() as f64,
@@ -44,7 +48,15 @@ fn main() {
     }
     print_table(
         "Table I: proxy (paper)",
-        &["family", "n", "m", "wedges", "triangles", "tri/edge", "avg deg"],
+        &[
+            "family",
+            "n",
+            "m",
+            "wedges",
+            "triangles",
+            "tri/edge",
+            "avg deg",
+        ],
         &rows,
     );
     println!(

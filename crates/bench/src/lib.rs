@@ -77,12 +77,7 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
                 .max(c.len())
         })
         .collect();
-    let label_w = rows
-        .iter()
-        .map(|r| r.label.len())
-        .max()
-        .unwrap_or(0)
-        .max(5);
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(5);
     print!("{:<label_w$}", "");
     for (c, w) in columns.iter().zip(&widths) {
         print!(" | {c:>w$}");

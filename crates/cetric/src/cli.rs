@@ -101,7 +101,10 @@ fn parse_dataset(s: &str) -> Result<Dataset, String> {
         .into_iter()
         .find(|d| d.paper_stats().name == s)
         .ok_or_else(|| {
-            let names: Vec<&str> = Dataset::all().iter().map(|d| d.paper_stats().name).collect();
+            let names: Vec<&str> = Dataset::all()
+                .iter()
+                .map(|d| d.paper_stats().name)
+                .collect();
             format!("unknown dataset {s:?} (one of {names:?})")
         })
 }
@@ -144,7 +147,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         opts.push((key.trim_start_matches('-').to_string(), val.to_string()));
         i += 2;
     }
-    let get = |k: &str| opts.iter().find(|(key, _)| key == k).map(|(_, v)| v.as_str());
+    let get = |k: &str| {
+        opts.iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    };
     let parse_u64 = |k: &str, default: u64| -> Result<u64, String> {
         get(k).map_or(Ok(default), |v| {
             v.parse().map_err(|e| format!("bad --{k} {v:?}: {e}"))
@@ -165,7 +172,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             n: parse_u64("n", 1 << 12)?,
             seed: parse_u64("seed", 42)?,
         }
-    } else if verb == "generate" || verb == "count" || verb == "lcc" || verb == "info" || verb == "enumerate" {
+    } else if verb == "generate"
+        || verb == "count"
+        || verb == "lcc"
+        || verb == "info"
+        || verb == "enumerate"
+    {
         return Err("need an input: --input FILE, --family F, or --dataset D".to_string());
     } else {
         return Err(usage());
@@ -288,10 +300,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                         count_with(&g, p, alg, &config).map_err(|e| e.to_string())?
                     };
                     if timed {
-                        println!(
-                            "overlap-aware makespan: {:.3} ms",
-                            r.stats.makespan() * 1e3
-                        );
+                        println!("overlap-aware makespan: {:.3} ms", r.stats.makespan() * 1e3);
                     }
                     println!("triangles: {}", r.triangles);
                     println!(
@@ -304,11 +313,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                         r.stats.max_peak_buffered(),
                     );
                     for ph in &r.stats.phases {
-                        println!(
-                            "  {:<14} {:.3} ms",
-                            ph.name,
-                            ph.modeled_time(&model) * 1e3
-                        );
+                        println!("  {:<14} {:.3} ms", ph.name, ph.modeled_time(&model) * 1e3);
                     }
                 }
             }
@@ -319,7 +324,10 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             println!("triangles: {}", r.triangles);
             let mut by_degree: Vec<u64> = g.vertices().collect();
             by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
-            println!("{:>10} {:>8} {:>10} {:>8}", "vertex", "degree", "triangles", "lcc");
+            println!(
+                "{:>10} {:>8} {:>10} {:>8}",
+                "vertex", "degree", "triangles", "lcc"
+            );
             for &v in by_degree.iter().take(top) {
                 println!(
                     "{:>10} {:>8} {:>10} {:>8.4}",
@@ -376,7 +384,10 @@ mod tests {
         let cmd = parse(&args("count --family rmat --n 1024 --p 8 --alg ditric2")).unwrap();
         match cmd {
             Command::Count {
-                source, algorithm, p, ..
+                source,
+                algorithm,
+                p,
+                ..
             } => {
                 assert_eq!(
                     source,

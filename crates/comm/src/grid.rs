@@ -127,7 +127,7 @@ mod tests {
         let g = Grid::new(8);
         assert_eq!(g.cols(), 3);
         assert_eq!(g.rows(), 3); // rows 0,1 full; last row has 2
-        // p=2 → cols 1
+                                 // p=2 → cols 1
         assert_eq!(Grid::new(2).cols(), 1);
         assert_eq!(Grid::new(1).cols(), 1);
     }

@@ -23,6 +23,11 @@
 //! * [`CostModel`] / [`RunStats`] — turning counter traces into the modeled
 //!   times, message maxima, and bottleneck volumes the paper plots.
 
+//! * [`trace::Trace`] — optional per-PE event recording (`trace` feature)
+//!   plus [`runtime::run_sim`]/[`runtime::run_guarded`]: schedule
+//!   perturbation, deadlock diagnosis, and the raw material for the
+//!   `tricount-verify` conformance linter.
+
 #![warn(missing_docs)]
 
 pub mod cost;
@@ -30,9 +35,16 @@ pub mod grid;
 pub mod queue;
 pub mod runtime;
 pub mod stats;
+pub mod trace;
 
 pub use cost::{ceil_log2, CostModel};
 pub use grid::Grid;
-pub use queue::{Envelope, MessageQueue, QueueConfig, Routing};
-pub use runtime::{run, Ctx, RunOutput};
+#[cfg(feature = "fault-injection")]
+pub use queue::Fault;
+pub use queue::{Envelope, MessageQueue, QueueConfig, Routing, HEADER_WORDS};
+pub use runtime::{
+    run, run_guarded, run_sim, run_timed, Ctx, DeadlockReport, PeSnapshot, RunOutput, SimOptions,
+    SimOutput,
+};
 pub use stats::{Counters, PhaseStats, RunStats};
+pub use trace::{hash_words, CollKind, Trace, TraceEvent};

@@ -34,6 +34,7 @@ use std::sync::atomic::Ordering;
 use crate::cost::ceil_log2;
 use crate::grid::Grid;
 use crate::runtime::Ctx;
+use crate::trace::{hash_words, TraceEvent};
 
 /// Envelope routing discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,7 +89,28 @@ pub struct Envelope<'a> {
     pub payload: &'a [u64],
 }
 
-const HEADER_WORDS: u64 = 2; // [final_dest, payload_len]
+/// Words of framing per buffered envelope: `[final_dest, payload_len]`.
+/// Public so the conformance linter can reconstruct record sizes.
+pub const HEADER_WORDS: u64 = 2;
+
+/// A protocol violation to inject into a [`MessageQueue`], for validating
+/// the conformance linter by mutation (`fault-injection` cargo feature;
+/// never compiled into normal builds).
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Silently drop the `index`-th envelope posted on this PE: the post is
+    /// still recorded in the trace, but the envelope never enters a buffer
+    /// (and the destination's expected-counter is not incremented, so the
+    /// exchange terminates and the *linter*, not a hang, reports the loss).
+    DropEnvelope {
+        /// Zero-based index among this PE's posts.
+        index: u64,
+    },
+    /// Skip the first δ-threshold flush, letting the buffered volume
+    /// overshoot the §IV-A memory bound.
+    SkipFlushOnce,
+}
 
 /// The per-PE buffered message queue. One sparse exchange at a time per run;
 /// all PEs must eventually call [`MessageQueue::finish`] (it is collective).
@@ -102,12 +124,22 @@ pub struct MessageQueue {
     buffered_words: u64,
     delivered: u64,
     finishing: bool,
+    #[cfg(feature = "fault-injection")]
+    posts_seen: u64,
+    #[cfg(feature = "fault-injection")]
+    drop_at: Option<u64>,
+    #[cfg(feature = "fault-injection")]
+    skip_flush_pending: bool,
 }
 
 impl MessageQueue {
     /// Creates the queue for this PE.
-    pub fn new(ctx: &Ctx, cfg: QueueConfig) -> Self {
+    pub fn new(ctx: &mut Ctx, cfg: QueueConfig) -> Self {
         let p = ctx.num_ranks();
+        ctx.trace_with(|| TraceEvent::QueueConfigured {
+            delta: cfg.delta.map(|d| d as u64),
+            grid: cfg.routing == Routing::Grid,
+        });
         MessageQueue {
             cfg,
             grid: Grid::new(p),
@@ -117,6 +149,21 @@ impl MessageQueue {
             buffered_words: 0,
             delivered: 0,
             finishing: false,
+            #[cfg(feature = "fault-injection")]
+            posts_seen: 0,
+            #[cfg(feature = "fault-injection")]
+            drop_at: None,
+            #[cfg(feature = "fault-injection")]
+            skip_flush_pending: false,
+        }
+    }
+
+    /// Arms an injected protocol violation (see [`Fault`]).
+    #[cfg(feature = "fault-injection")]
+    pub fn inject_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::DropEnvelope { index } => self.drop_at = Some(index),
+            Fault::SkipFlushOnce => self.skip_flush_pending = true,
         }
     }
 
@@ -131,12 +178,39 @@ impl MessageQueue {
     pub fn post(&mut self, ctx: &mut Ctx, dest: usize, payload: &[u64]) {
         assert!(dest != self.rank, "post to self");
         assert!(dest < self.p);
-        ctx.shared.expected[dest].fetch_add(1, Ordering::SeqCst);
         let hop = match self.cfg.routing {
             Routing::Direct => dest,
             Routing::Grid => self.grid.proxy(self.rank, dest),
         };
+        #[cfg(feature = "fault-injection")]
+        {
+            let idx = self.posts_seen;
+            self.posts_seen += 1;
+            if self.drop_at == Some(idx) {
+                // The post is traced but the envelope vanishes; the
+                // destination is never told to expect it, so the exchange
+                // terminates and the conformance linter sees the loss.
+                let buffered = self.buffered_words;
+                ctx.trace_with(|| TraceEvent::Posted {
+                    dest,
+                    hop,
+                    payload_words: payload.len() as u64,
+                    payload_hash: hash_words(payload),
+                    buffered_after: buffered,
+                });
+                return;
+            }
+        }
+        ctx.shared.expected[dest].fetch_add(1, Ordering::SeqCst);
         self.push_record(ctx, hop, dest, payload);
+        let buffered = self.buffered_words;
+        ctx.trace_with(|| TraceEvent::Posted {
+            dest,
+            hop,
+            payload_words: payload.len() as u64,
+            payload_hash: hash_words(payload),
+            buffered_after: buffered,
+        });
         self.maybe_flush(ctx);
     }
 
@@ -151,7 +225,14 @@ impl MessageQueue {
 
     fn maybe_flush(&mut self, ctx: &mut Ctx) {
         match self.cfg.delta {
-            Some(d) if self.buffered_words > d as u64 => self.flush_all(ctx),
+            Some(d) if self.buffered_words > d as u64 => {
+                #[cfg(feature = "fault-injection")]
+                if self.skip_flush_pending {
+                    self.skip_flush_pending = false;
+                    return;
+                }
+                self.flush_all(ctx);
+            }
             _ => {}
         }
     }
@@ -161,10 +242,13 @@ impl MessageQueue {
         for peer in 0..self.p {
             if !self.buffers[peer].is_empty() {
                 let buf = std::mem::take(&mut self.buffers[peer]);
+                let words = buf.len() as u64;
+                ctx.trace_with(|| TraceEvent::Flushed { peer, words });
                 ctx.send_raw(peer, buf);
             }
         }
         self.buffered_words = 0;
+        ctx.note_buffered(0);
     }
 
     /// Receives and processes at most one incoming aggregated message.
@@ -187,11 +271,23 @@ impl MessageQueue {
             let payload = &words[i + 2..i + 2 + len];
             if dest == self.rank {
                 self.delivered += 1;
+                ctx.report_delivered(self.delivered);
+                ctx.trace_with(|| TraceEvent::Delivered {
+                    payload_words: payload.len() as u64,
+                    payload_hash: hash_words(payload),
+                });
                 sink(ctx, Envelope { payload });
             } else {
                 // Relay hop: forward toward the final destination (second
                 // hop of grid routing is always direct).
                 self.push_record(ctx, dest, dest, payload);
+                let buffered = self.buffered_words;
+                ctx.trace_with(|| TraceEvent::Relayed {
+                    dest,
+                    payload_words: payload.len() as u64,
+                    payload_hash: hash_words(payload),
+                    buffered_after: buffered,
+                });
                 relayed = true;
             }
             i += 2 + len;
@@ -215,6 +311,7 @@ impl MessageQueue {
         F: FnMut(&mut Ctx, Envelope<'_>),
     {
         self.finishing = true;
+        ctx.enter_sparse_finish();
         self.flush_all(ctx);
         let shared = ctx.shared;
         shared.producers_done.fetch_add(1, Ordering::SeqCst);
@@ -252,7 +349,9 @@ impl MessageQueue {
         }
         ctx.barrier_uncharged();
         self.delivered = 0;
+        ctx.report_delivered(0);
         self.finishing = false;
+        ctx.exit_sparse_finish();
     }
 }
 
@@ -327,10 +426,7 @@ mod tests {
         // aggregated: one message per (src,dst) pair; unaggregated: one per
         // envelope (rounds× more)
         assert_eq!(agg.stats.total_messages(), (p * (p - 1)) as u64);
-        assert_eq!(
-            none.stats.total_messages(),
-            (p * (p - 1)) as u64 * rounds
-        );
+        assert_eq!(none.stats.total_messages(), (p * (p - 1)) as u64 * rounds);
         // payload volume identical (headers included in both)
         assert_eq!(agg.stats.total_volume(), none.stats.total_volume());
     }

@@ -8,15 +8,30 @@
 //! through shared memory but *charged* with the standard tree/butterfly cost
 //! formulas, so modeled times match what a real MPI implementation of the
 //! paper's algorithms would pay.
+//!
+//! Beyond the plain [`run`]/[`run_timed`] entry points, the runtime supports
+//! the verification harness of the `tricount-verify` crate through
+//! [`run_sim`] and [`run_guarded`]:
+//!
+//! * **trace recording** (`trace` cargo feature +
+//!   [`SimOptions::record_trace`]) — every send, flush, delivery and
+//!   collective entry/exit is logged per PE (see [`crate::trace`]);
+//! * **schedule perturbation** ([`SimOptions::perturb_seed`]) — message
+//!   delivery order and thread interleavings are permuted under a seeded
+//!   RNG, so schedule-dependent results can be flushed out;
+//! * **deadlock guarding** ([`run_guarded`]) — a watchdog observes per-PE
+//!   progress heartbeats and, instead of hanging, returns a
+//!   [`DeadlockReport`] dumping each PE's state (buffered volume, pending
+//!   collective, delivered/expected envelopes) plus a wait-for graph.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize};
-use std::sync::Barrier;
-
-use crossbeam_channel::{Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::cost::{ceil_log2, CostModel};
 use crate::stats::{Counters, PhaseStats, RunStats};
+use crate::trace::{CollKind, Trace, TraceEvent};
 
 /// A raw point-to-point message: the sending rank and a word payload.
 #[derive(Debug)]
@@ -39,6 +54,37 @@ struct CollScratch {
     mat: Vec<Vec<Vec<u64>>>,
 }
 
+/// Operation codes published by each PE for the deadlock watchdog.
+const OP_RUNNING: u64 = 0;
+const OP_DONE: u64 = 100;
+
+fn coll_op_code(kind: CollKind) -> u64 {
+    match kind {
+        CollKind::Barrier => 1,
+        CollKind::Allgatherv => 2,
+        CollKind::AllreduceSum => 3,
+        CollKind::AllreduceMax => 4,
+        CollKind::ExscanSum => 5,
+        CollKind::Alltoallv => 6,
+        CollKind::SparseFinish => 7,
+    }
+}
+
+fn op_name(code: u64) -> &'static str {
+    match code {
+        OP_RUNNING => "running",
+        1 => "barrier",
+        2 => "allgatherv",
+        3 => "allreduce_sum",
+        4 => "allreduce_max",
+        5 => "exscan_sum",
+        6 => "alltoallv",
+        7 => "sparse_finish",
+        OP_DONE => "done",
+        _ => "unknown",
+    }
+}
+
 /// State shared by all PEs of one run.
 pub(crate) struct Shared {
     p: usize,
@@ -53,6 +99,85 @@ pub(crate) struct Shared {
     pub(crate) satisfied: AtomicUsize,
     /// Clock deposit slots for timed runs (f64 bits).
     clock_slots: Vec<AtomicU64>,
+    /// Per-PE progress heartbeat for the deadlock watchdog: bumped on every
+    /// send, receive, delivery, collective step and metered work batch.
+    heartbeat: Vec<AtomicU64>,
+    /// Per-PE current operation ([`OP_RUNNING`], a collective code, or
+    /// [`OP_DONE`]) for the watchdog's wait-for graph.
+    op_state: Vec<AtomicU64>,
+    /// Per-PE currently buffered queue words (watchdog state dump).
+    buffered_now: Vec<AtomicU64>,
+    /// Per-PE envelopes delivered in the current exchange (watchdog dump).
+    delivered_now: Vec<AtomicU64>,
+}
+
+fn make_shared(p: usize) -> (Shared, Vec<Receiver<RawMsg>>) {
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = mpsc::channel();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let shared = Shared {
+        p,
+        senders,
+        barrier: Barrier::new(p),
+        coll: Mutex::new(CollScratch {
+            slots: vec![Vec::new(); p],
+            mat: vec![Vec::new(); p],
+        }),
+        expected: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        producers_done: AtomicUsize::new(0),
+        satisfied: AtomicUsize::new(0),
+        clock_slots: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        heartbeat: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        op_state: (0..p).map(|_| AtomicU64::new(OP_RUNNING)).collect(),
+        buffered_now: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        delivered_now: (0..p).map(|_| AtomicU64::new(0)).collect(),
+    };
+    (shared, receivers)
+}
+
+/// Options of a simulated run beyond the rank program itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Enable the overlap-aware simulated clock under this cost model.
+    pub timing: Option<CostModel>,
+    /// Record a [`Trace`] (requires the `trace` cargo feature; without it
+    /// the returned trace is `None`).
+    pub record_trace: bool,
+    /// Perturb message delivery order and thread interleaving under this
+    /// seed (`None` = the natural schedule).
+    pub perturb_seed: Option<u64>,
+}
+
+impl SimOptions {
+    /// Options with trace recording enabled.
+    pub fn traced() -> Self {
+        SimOptions {
+            record_trace: true,
+            ..SimOptions::default()
+        }
+    }
+
+    /// Options with schedule perturbation under `seed`.
+    pub fn perturbed(seed: u64) -> Self {
+        SimOptions {
+            perturb_seed: Some(seed),
+            ..SimOptions::default()
+        }
+    }
+}
+
+/// SplitMix64 step — the perturbation RNG.
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The per-PE communicator handle. One per rank thread; owns that rank's
@@ -68,6 +193,14 @@ pub struct Ctx<'s> {
     /// Cost model of a timed run (None = untimed; clock stays 0).
     timing: Option<CostModel>,
     clock: f64,
+    /// Undelivered messages pulled off the channel under perturbation.
+    pending: Vec<RawMsg>,
+    /// Perturbation RNG state (unused when `perturb` is false).
+    rng_state: u64,
+    perturb: bool,
+    /// Whether trace events are recorded for this run.
+    tracing: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 struct PhaseRecord {
@@ -93,9 +226,84 @@ impl<'s> Ctx<'s> {
         &self.counters
     }
 
+    /// Records a trace event, constructed lazily so untraced runs pay
+    /// nothing beyond a branch (and nothing at all without the `trace`
+    /// feature).
+    #[inline]
+    pub(crate) fn trace_with(&mut self, make: impl FnOnce() -> TraceEvent) {
+        #[cfg(feature = "trace")]
+        if self.tracing {
+            self.trace_buf.push(make());
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = make;
+            let _ = self.tracing;
+        }
+    }
+
+    /// Bumps this PE's progress heartbeat (watchdog liveness signal).
+    #[inline]
+    pub(crate) fn beat(&self) {
+        self.shared.heartbeat[self.rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the operation this PE is currently blocked in.
+    #[inline]
+    fn set_op(&self, code: u64) {
+        self.shared.op_state[self.rank].store(code, Ordering::Relaxed);
+    }
+
+    /// Marks collective entry: op state, heartbeat, trace event.
+    fn enter_coll(&mut self, kind: CollKind) {
+        self.set_op(coll_op_code(kind));
+        self.beat();
+        self.trace_with(|| TraceEvent::CollEnter { kind });
+    }
+
+    /// Marks collective exit.
+    fn exit_coll(&mut self, kind: CollKind) {
+        self.trace_with(|| TraceEvent::CollExit { kind });
+        self.set_op(OP_RUNNING);
+    }
+
+    /// Marks entry/exit of the sparse-exchange termination (used by
+    /// [`crate::MessageQueue::finish`]).
+    pub(crate) fn enter_sparse_finish(&mut self) {
+        self.enter_coll(CollKind::SparseFinish);
+    }
+
+    /// See [`Ctx::enter_sparse_finish`].
+    pub(crate) fn exit_sparse_finish(&mut self) {
+        self.exit_coll(CollKind::SparseFinish);
+    }
+
+    /// Publishes the envelopes delivered so far in the current exchange
+    /// (watchdog state dump; called by the message queue).
+    #[inline]
+    pub(crate) fn report_delivered(&self, delivered: u64) {
+        self.shared.delivered_now[self.rank].store(delivered, Ordering::Relaxed);
+    }
+
+    /// A perturbation RNG draw (only meaningful under perturbed runs).
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        splitmix(&mut self.rng_state)
+    }
+
+    /// Under perturbation, randomly yields the thread to shake up the
+    /// interleaving of rank threads.
+    #[inline]
+    fn jitter(&mut self) {
+        if self.perturb && self.next_rand() & 7 == 0 {
+            std::thread::yield_now();
+        }
+    }
+
     /// Meters `ops` candidate comparisons of local work.
     #[inline]
     pub fn add_work(&mut self, ops: u64) {
+        self.beat();
         self.counters.work_ops += ops;
         if let Some(cost) = self.timing {
             self.clock += cost.t_op * ops as f64;
@@ -120,24 +328,25 @@ impl<'s> Ctx<'s> {
         if self.timing.is_none() {
             return;
         }
-        self.shared.clock_slots[self.rank]
-            .store(self.clock.to_bits(), std::sync::atomic::Ordering::SeqCst);
+        self.shared.clock_slots[self.rank].store(self.clock.to_bits(), Ordering::SeqCst);
         self.barrier_uncharged();
         let max = self
             .shared
             .clock_slots
             .iter()
-            .map(|s| f64::from_bits(s.load(std::sync::atomic::Ordering::SeqCst)))
+            .map(|s| f64::from_bits(s.load(Ordering::SeqCst)))
             .fold(0.0, f64::max);
         self.barrier_uncharged();
         self.clock = max;
         self.counters.sim_clock = self.clock;
     }
 
-    /// Records a buffer-occupancy high-water mark (called by the message
-    /// queue).
+    /// Records a buffer-occupancy level (called by the message queue): the
+    /// high-water mark feeds the §IV-A memory accounting, the current level
+    /// feeds the deadlock watchdog's state dump.
     #[inline]
     pub fn note_buffered(&mut self, words: u64) {
+        self.shared.buffered_now[self.rank].store(words, Ordering::Relaxed);
         if words > self.counters.peak_buffered_words {
             self.counters.peak_buffered_words = words;
         }
@@ -154,7 +363,12 @@ impl<'s> Ctx<'s> {
     /// Sends one point-to-point message. Counted as one message of
     /// `words.len()` machine words.
     pub fn send_raw(&mut self, to: usize, words: Vec<u64>) {
-        debug_assert!(to < self.shared.p && to != self.rank, "bad destination {to}");
+        debug_assert!(
+            to < self.shared.p && to != self.rank,
+            "bad destination {to}"
+        );
+        self.beat();
+        self.jitter();
         self.counters.sent_messages += 1;
         self.counters.sent_words += words.len() as u64;
         if !self.sent_peer_seen[to] {
@@ -169,6 +383,10 @@ impl<'s> Ctx<'s> {
             arrival = self.clock + cost.beta * words.len() as f64;
             self.counters.sim_clock = self.clock;
         }
+        self.trace_with(|| TraceEvent::Sent {
+            to,
+            words: words.len() as u64,
+        });
         self.shared.senders[to]
             .send(RawMsg {
                 src: self.rank,
@@ -178,66 +396,93 @@ impl<'s> Ctx<'s> {
             .expect("receiver hung up");
     }
 
-    /// Non-blocking receive of one message.
+    /// Non-blocking receive of one message. Under perturbed runs the
+    /// channel is drained into a holding pen and a seeded-random pending
+    /// message is delivered instead of the FIFO head.
     pub fn try_recv_raw(&mut self) -> Option<RawMsg> {
-        match self.receiver.try_recv() {
-            Ok(m) => {
-                self.counters.recv_messages += 1;
-                self.counters.recv_words += m.words.len() as u64;
-                if !self.recv_peer_seen[m.src] {
-                    self.recv_peer_seen[m.src] = true;
-                    self.counters.recv_peers += 1;
-                }
-                if self.timing.is_some() {
-                    self.clock = self.clock.max(m.arrival);
-                    self.counters.sim_clock = self.clock;
-                }
-                Some(m)
+        let m = if self.perturb {
+            while let Ok(m) = self.receiver.try_recv() {
+                self.pending.push(m);
             }
-            Err(_) => None,
+            if self.pending.is_empty() {
+                None
+            } else {
+                let i = (self.next_rand() % self.pending.len() as u64) as usize;
+                Some(self.pending.swap_remove(i))
+            }
+        } else {
+            self.receiver.try_recv().ok()
+        };
+        let m = m?;
+        self.beat();
+        self.jitter();
+        self.counters.recv_messages += 1;
+        self.counters.recv_words += m.words.len() as u64;
+        if !self.recv_peer_seen[m.src] {
+            self.recv_peer_seen[m.src] = true;
+            self.counters.recv_peers += 1;
         }
+        if self.timing.is_some() {
+            self.clock = self.clock.max(m.arrival);
+            self.counters.sim_clock = self.clock;
+        }
+        self.trace_with(|| TraceEvent::Received {
+            from: m.src,
+            words: m.words.len() as u64,
+        });
+        Some(m)
     }
 
     /// Barrier without cost charge (internal synchronisation of the
-    /// simulator itself).
+    /// simulator itself). Publishes "barrier" as the blocked-in op while
+    /// waiting unless an enclosing collective already claimed the slot, so
+    /// a PE stuck in a bare sync (e.g. the end-of-run phase barrier) is
+    /// diagnosable by the deadlock watchdog.
     pub(crate) fn barrier_uncharged(&self) {
+        self.beat();
+        let st = &self.shared.op_state[self.rank];
+        let prev = st.load(Ordering::Relaxed);
+        if prev == OP_RUNNING {
+            st.store(coll_op_code(CollKind::Barrier), Ordering::Relaxed);
+        }
         self.shared.barrier.wait();
+        st.store(prev, Ordering::Relaxed);
     }
 
     /// Synchronises all PEs; charged `α⌈log₂ p⌉`.
     pub fn barrier(&mut self) {
+        self.enter_coll(CollKind::Barrier);
         self.sync_clocks();
         self.charge_collective(ceil_log2(self.shared.p), 0);
         self.barrier_uncharged();
+        self.exit_coll(CollKind::Barrier);
     }
 
     /// All-gather of variable-length word vectors; returns every rank's
     /// contribution indexed by rank. Charged `α⌈log₂p⌉ + β·(total words)`.
     pub fn allgatherv(&mut self, data: Vec<u64>) -> Vec<Vec<u64>> {
-        {
-            let mut s = self.shared.coll.lock();
-            s.slots[self.rank] = data;
-        }
-        self.barrier_uncharged();
-        let out: Vec<Vec<u64>> = {
-            let s = self.shared.coll.lock();
-            s.slots.clone()
-        };
-        self.barrier_uncharged();
+        self.enter_coll(CollKind::Allgatherv);
+        let out = self.allgatherv_uncharged(data);
         let total: u64 = out.iter().map(|v| v.len() as u64).sum();
         self.sync_clocks();
         self.charge_collective(ceil_log2(self.shared.p), total);
+        self.exit_coll(CollKind::Allgatherv);
         out
     }
 
     /// Element-wise sum all-reduce of equal-length vectors. Charged
     /// `(α + β·len)·⌈log₂ p⌉`.
     pub fn allreduce_sum(&mut self, data: &[u64]) -> Vec<u64> {
+        self.enter_coll(CollKind::AllreduceSum);
         let parts = self.allgatherv_uncharged(data.to_vec());
         let len = data.len();
         let mut acc = vec![0u64; len];
         for part in &parts {
-            assert_eq!(part.len(), len, "allreduce contributions must agree in length");
+            assert_eq!(
+                part.len(),
+                len,
+                "allreduce contributions must agree in length"
+            );
             for (a, &x) in acc.iter_mut().zip(part) {
                 *a += x;
             }
@@ -245,36 +490,41 @@ impl<'s> Ctx<'s> {
         let log = ceil_log2(self.shared.p);
         self.sync_clocks();
         self.charge_collective(log, log * len as u64);
+        self.exit_coll(CollKind::AllreduceSum);
         acc
     }
 
     /// Scalar max all-reduce. Charged like a 1-word all-reduce.
     pub fn allreduce_max(&mut self, x: u64) -> u64 {
+        self.enter_coll(CollKind::AllreduceMax);
         let parts = self.allgatherv_uncharged(vec![x]);
         let log = ceil_log2(self.shared.p);
         self.sync_clocks();
         self.charge_collective(log, log);
+        self.exit_coll(CollKind::AllreduceMax);
         parts.iter().map(|v| v[0]).max().unwrap_or(0)
     }
 
     /// Exclusive prefix sum over ranks of a scalar. Charged like a 1-word
     /// all-reduce.
     pub fn exscan_sum(&mut self, x: u64) -> u64 {
+        self.enter_coll(CollKind::ExscanSum);
         let parts = self.allgatherv_uncharged(vec![x]);
         let log = ceil_log2(self.shared.p);
         self.sync_clocks();
         self.charge_collective(log, log);
+        self.exit_coll(CollKind::ExscanSum);
         parts[..self.rank].iter().map(|v| v[0]).sum()
     }
 
     fn allgatherv_uncharged(&mut self, data: Vec<u64>) -> Vec<Vec<u64>> {
         {
-            let mut s = self.shared.coll.lock();
+            let mut s = self.shared.coll.lock().expect("collective lock poisoned");
             s.slots[self.rank] = data;
         }
         self.barrier_uncharged();
         let out: Vec<Vec<u64>> = {
-            let s = self.shared.coll.lock();
+            let s = self.shared.coll.lock().expect("collective lock poisoned");
             s.slots.clone()
         };
         self.barrier_uncharged();
@@ -290,6 +540,7 @@ impl<'s> Ctx<'s> {
     /// avoids (§IV-D).
     pub fn alltoallv(&mut self, outgoing: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
         assert_eq!(outgoing.len(), self.shared.p);
+        self.enter_coll(CollKind::Alltoallv);
         self.sync_clocks();
         self.charge_collective(ceil_log2(self.shared.p), self.shared.p as u64);
         let mut sent_words_here = 0u64;
@@ -300,15 +551,17 @@ impl<'s> Ctx<'s> {
                 self.counters.sent_words += v.len() as u64;
                 sent_msgs_here += 1;
                 sent_words_here += v.len() as u64;
+                let words = v.len() as u64;
+                self.trace_with(|| TraceEvent::Sent { to: d, words });
             }
         }
         {
-            let mut s = self.shared.coll.lock();
+            let mut s = self.shared.coll.lock().expect("collective lock poisoned");
             s.mat[self.rank] = outgoing;
         }
         self.barrier_uncharged();
         let incoming: Vec<Vec<u64>> = {
-            let s = self.shared.coll.lock();
+            let s = self.shared.coll.lock().expect("collective lock poisoned");
             (0..self.shared.p)
                 .map(|src| s.mat[src][self.rank].clone())
                 .collect()
@@ -322,6 +575,8 @@ impl<'s> Ctx<'s> {
                 self.counters.recv_words += v.len() as u64;
                 recv_msgs_here += 1;
                 recv_words_here += v.len() as u64;
+                let words = v.len() as u64;
+                self.trace_with(|| TraceEvent::Received { from: srcr, words });
             }
         }
         if let Some(cost) = self.timing {
@@ -333,6 +588,7 @@ impl<'s> Ctx<'s> {
         }
         // participants leave the exchange together
         self.sync_clocks();
+        self.exit_coll(CollKind::Alltoallv);
         incoming
     }
 
@@ -347,6 +603,9 @@ impl<'s> Ctx<'s> {
     fn end_phase_uncharged(&mut self, name: &str) {
         self.sync_clocks();
         self.barrier_uncharged();
+        self.trace_with(|| TraceEvent::PhaseEnded {
+            name: name.to_string(),
+        });
         self.phases.push(PhaseRecord {
             name: name.to_string(),
             counters: self.counters,
@@ -364,98 +623,79 @@ pub struct RunOutput<R> {
     pub stats: RunStats,
 }
 
-/// Runs `f` as the rank program on `p` simulated PEs.
-///
-/// `f` is called once per rank with that rank's [`Ctx`]; any un-phased
-/// trailing activity is recorded as a final `"rest"` phase.
-pub fn run<R, F>(p: usize, f: F) -> RunOutput<R>
-where
-    R: Send,
-    F: Fn(&mut Ctx) -> R + Send + Sync,
-{
-    run_with(p, None, f)
+/// A [`RunOutput`] plus the recorded [`Trace`] (when requested and the
+/// `trace` feature is compiled in).
+#[derive(Debug)]
+pub struct SimOutput<R> {
+    /// The run's results and statistics.
+    pub output: RunOutput<R>,
+    /// The recorded trace, if any.
+    pub trace: Option<Trace>,
 }
 
-/// Like [`run`], but with the overlap-aware simulated clock enabled: every
-/// PE carries a causal clock advanced by its local work (`t_op`), its send
-/// overheads (`α`) and the arrival times of the messages it receives
-/// (`send clock + α + β·ℓ`), synchronised at barriers/collectives. The
-/// resulting [`RunStats::makespan`] captures communication/computation
-/// overlap, which the per-phase [`RunStats::modeled_time`] upper bound
-/// cannot.
-pub fn run_timed<R, F>(p: usize, cost: CostModel, f: F) -> RunOutput<R>
-where
-    R: Send,
-    F: Fn(&mut Ctx) -> R + Send + Sync,
-{
-    run_with(p, Some(cost), f)
-}
+/// What one rank thread hands back: result, phase records, trace events.
+type RankOutcome<R> = (R, Vec<PhaseRecord>, Vec<TraceEvent>);
 
-fn run_with<R, F>(p: usize, timing: Option<CostModel>, f: F) -> RunOutput<R>
+fn drive_rank<R, F>(
+    rank: usize,
+    shared: &Shared,
+    receiver: Receiver<RawMsg>,
+    opts: &SimOptions,
+    f: &F,
+) -> RankOutcome<R>
 where
-    R: Send,
-    F: Fn(&mut Ctx) -> R + Send + Sync,
+    F: Fn(&mut Ctx) -> R,
 {
-    assert!(p > 0, "need at least one PE");
-    let mut senders = Vec::with_capacity(p);
-    let mut receivers = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (s, r) = crossbeam_channel::unbounded();
-        senders.push(s);
-        receivers.push(r);
+    let p = shared.p;
+    let perturb = opts.perturb_seed.is_some();
+    let mut rng_state = opts
+        .perturb_seed
+        .unwrap_or(0)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xD1B5_4A32_D192_ED03_u64.wrapping_mul(rank as u64 + 1));
+    if perturb {
+        // decorrelate the per-rank streams
+        splitmix(&mut rng_state);
     }
-    let shared = Shared {
-        p,
-        senders,
-        barrier: Barrier::new(p),
-        coll: Mutex::new(CollScratch {
-            slots: vec![Vec::new(); p],
-            mat: vec![Vec::new(); p],
-        }),
-        expected: (0..p).map(|_| AtomicU64::new(0)).collect(),
-        producers_done: AtomicUsize::new(0),
-        satisfied: AtomicUsize::new(0),
-        clock_slots: (0..p).map(|_| AtomicU64::new(0)).collect(),
+    let mut ctx = Ctx {
+        rank,
+        shared,
+        receiver,
+        counters: Counters::default(),
+        phases: Vec::new(),
+        sent_peer_seen: vec![false; p],
+        recv_peer_seen: vec![false; p],
+        timing: opts.timing,
+        clock: 0.0,
+        pending: Vec::new(),
+        rng_state,
+        perturb,
+        tracing: cfg!(feature = "trace") && opts.record_trace,
+        trace_buf: Vec::new(),
     };
+    let result = f(&mut ctx);
+    ctx.end_phase_uncharged("rest");
+    ctx.set_op(OP_DONE);
+    ctx.beat();
+    (result, ctx.phases, ctx.trace_buf)
+}
 
-    let mut slots: Vec<Option<(R, Vec<PhaseRecord>)>> = (0..p).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for (rank, receiver) in receivers.into_iter().enumerate() {
-            let shared = &shared;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut ctx = Ctx {
-                    rank,
-                    shared,
-                    receiver,
-                    counters: Counters::default(),
-                    phases: Vec::new(),
-                    sent_peer_seen: vec![false; p],
-                    recv_peer_seen: vec![false; p],
-                    timing,
-                    clock: 0.0,
-                };
-                let result = f(&mut ctx);
-                ctx.end_phase_uncharged("rest");
-                (result, ctx.phases)
-            }));
-        }
-        for (rank, h) in handles.into_iter().enumerate() {
-            slots[rank] = Some(h.join().expect("rank thread panicked"));
-        }
-    });
-
+/// Assembles per-rank outcomes into a [`SimOutput`]; all ranks must agree on
+/// the phase sequence.
+fn assemble<R>(p: usize, outcomes: Vec<RankOutcome<R>>, want_trace: bool) -> SimOutput<R> {
     let mut results = Vec::with_capacity(p);
     let mut per_rank_phases: Vec<Vec<PhaseRecord>> = Vec::with_capacity(p);
-    for s in slots {
-        let (r, ph) = s.unwrap();
+    let mut per_pe_trace: Vec<Vec<TraceEvent>> = Vec::with_capacity(p);
+    for (r, ph, tr) in outcomes {
         results.push(r);
         per_rank_phases.push(ph);
+        per_pe_trace.push(tr);
     }
 
-    // Assemble per-phase deltas; all ranks must agree on the phase sequence.
-    let names: Vec<String> = per_rank_phases[0].iter().map(|pr| pr.name.clone()).collect();
+    let names: Vec<String> = per_rank_phases[0]
+        .iter()
+        .map(|pr| pr.name.clone())
+        .collect();
     for (r, phs) in per_rank_phases.iter().enumerate() {
         let theirs: Vec<&String> = phs.iter().map(|pr| &pr.name).collect();
         assert_eq!(
@@ -500,9 +740,260 @@ where
         phases.pop();
     }
 
-    RunOutput {
-        results,
-        stats: RunStats { p, phases },
+    let trace = (want_trace && cfg!(feature = "trace")).then_some(Trace {
+        per_pe: per_pe_trace,
+    });
+    SimOutput {
+        output: RunOutput {
+            results,
+            stats: RunStats { p, phases },
+        },
+        trace,
+    }
+}
+
+/// Runs `f` as the rank program on `p` simulated PEs.
+///
+/// `f` is called once per rank with that rank's [`Ctx`]; any un-phased
+/// trailing activity is recorded as a final `"rest"` phase.
+pub fn run<R, F>(p: usize, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    run_sim(p, &SimOptions::default(), f).output
+}
+
+/// Like [`run`], but with the overlap-aware simulated clock enabled: every
+/// PE carries a causal clock advanced by its local work (`t_op`), its send
+/// overheads (`α`) and the arrival times of the messages it receives
+/// (`send clock + α + β·ℓ`), synchronised at barriers/collectives. The
+/// resulting [`RunStats::makespan`] captures communication/computation
+/// overlap, which the per-phase [`RunStats::modeled_time`] upper bound
+/// cannot.
+pub fn run_timed<R, F>(p: usize, cost: CostModel, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    run_sim(
+        p,
+        &SimOptions {
+            timing: Some(cost),
+            ..SimOptions::default()
+        },
+        f,
+    )
+    .output
+}
+
+/// Runs `f` on `p` simulated PEs under the given [`SimOptions`] (timing,
+/// trace recording, schedule perturbation).
+pub fn run_sim<R, F>(p: usize, opts: &SimOptions, f: F) -> SimOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    assert!(p > 0, "need at least one PE");
+    let (shared, receivers) = make_shared(p);
+    let mut slots: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let shared = &shared;
+            let f = &f;
+            let opts = &*opts;
+            handles.push(scope.spawn(move || drive_rank(rank, shared, receiver, opts, f)));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            slots[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    let outcomes: Vec<RankOutcome<R>> = slots.into_iter().map(|s| s.unwrap()).collect();
+    assemble(p, outcomes, opts.record_trace)
+}
+
+/// One PE's state in a [`DeadlockReport`].
+#[derive(Debug, Clone)]
+pub struct PeSnapshot {
+    /// The PE's rank.
+    pub rank: usize,
+    /// Whether the rank program returned.
+    pub done: bool,
+    /// The operation the PE was last observed in ("running", a collective
+    /// name, "sparse_finish", or "done").
+    pub op: &'static str,
+    /// Words currently buffered in the PE's message queue.
+    pub buffered_words: u64,
+    /// Envelopes delivered to this PE in the current sparse exchange.
+    pub delivered: u64,
+    /// Envelopes destined to this PE in the current sparse exchange.
+    pub expected: u64,
+    /// Total progress heartbeats observed for this PE.
+    pub heartbeats: u64,
+}
+
+/// A deadlock diagnosis produced by [`run_guarded`] instead of hanging: the
+/// machine made no progress (no heartbeat on any PE) for the guard timeout.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// How long the machine was observed without progress.
+    pub stalled_for: Duration,
+    /// Per-PE state at the moment of diagnosis.
+    pub pes: Vec<PeSnapshot>,
+    /// Wait-for edges `(waiter, waited_on)` derived from the op states:
+    /// a PE blocked in a collective waits on every PE that has not entered
+    /// the same collective (or already exited the program).
+    pub wait_edges: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "deadlock: no progress for {:?} on {} PEs",
+            self.stalled_for,
+            self.pes.len()
+        )?;
+        for pe in &self.pes {
+            writeln!(
+                f,
+                "  PE {:>3}: op={:<13} done={:<5} buffered={} delivered={}/{} heartbeats={}",
+                pe.rank,
+                pe.op,
+                pe.done,
+                pe.buffered_words,
+                pe.delivered,
+                pe.expected,
+                pe.heartbeats
+            )?;
+        }
+        if !self.wait_edges.is_empty() {
+            write!(f, "  wait-for:")?;
+            for (a, b) in &self.wait_edges {
+                write!(f, " {a}→{b}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn snapshot(shared: &Shared, done: &[bool]) -> (Vec<PeSnapshot>, Vec<(usize, usize)>) {
+    let p = shared.p;
+    let ops: Vec<u64> = shared
+        .op_state
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed))
+        .collect();
+    let pes: Vec<PeSnapshot> = (0..p)
+        .map(|r| PeSnapshot {
+            rank: r,
+            done: done[r],
+            op: op_name(ops[r]),
+            buffered_words: shared.buffered_now[r].load(Ordering::Relaxed),
+            delivered: shared.delivered_now[r].load(Ordering::Relaxed),
+            expected: shared.expected[r].load(Ordering::Relaxed),
+            heartbeats: shared.heartbeat[r].load(Ordering::Relaxed),
+        })
+        .collect();
+    let mut wait_edges = Vec::new();
+    for waiter in 0..p {
+        let op = ops[waiter];
+        if done[waiter] || op == OP_RUNNING || op == OP_DONE {
+            continue;
+        }
+        for other in 0..p {
+            if other != waiter && (ops[other] != op || done[other]) {
+                wait_edges.push((waiter, other));
+            }
+        }
+    }
+    (pes, wait_edges)
+}
+
+/// Like [`run_sim`], but supervised by a deadlock watchdog: if no PE makes
+/// progress for `timeout`, the run is abandoned and a [`DeadlockReport`]
+/// dumping per-PE state is returned instead of hanging forever.
+///
+/// The rank program must be `'static` because stuck rank threads cannot be
+/// joined — on a diagnosed deadlock they are leaked (acceptable in a test
+/// harness; the owning process exits soon after). Pick `timeout` larger than
+/// the longest stretch of purely local computation in the rank program:
+/// local work metered through [`Ctx::add_work`] counts as progress, unmetered
+/// busy loops do not.
+pub fn run_guarded<R, F>(
+    p: usize,
+    opts: &SimOptions,
+    timeout: Duration,
+    f: F,
+) -> Result<SimOutput<R>, Box<DeadlockReport>>
+where
+    R: Send + 'static,
+    F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
+{
+    assert!(p > 0, "need at least one PE");
+    let (shared, receivers) = make_shared(p);
+    let shared = Arc::new(shared);
+    let f = Arc::new(f);
+    let opts_copy = *opts;
+    let (done_tx, done_rx) = mpsc::channel::<(usize, RankOutcome<R>)>();
+    for (rank, receiver) in receivers.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let f = Arc::clone(&f);
+        let done_tx = done_tx.clone();
+        std::thread::spawn(move || {
+            let outcome = drive_rank(rank, &shared, receiver, &opts_copy, &*f);
+            // the supervisor may have given up already; ignore send errors
+            let _ = done_tx.send((rank, outcome));
+        });
+    }
+    drop(done_tx);
+
+    let poll = (timeout / 10).max(Duration::from_millis(2));
+    let mut slots: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
+    let mut done = vec![false; p];
+    let mut completed = 0usize;
+    let mut last_beats: Vec<u64> = shared
+        .heartbeat
+        .iter()
+        .map(|h| h.load(Ordering::Relaxed))
+        .collect();
+    let mut last_change = Instant::now();
+    loop {
+        match done_rx.recv_timeout(poll) {
+            Ok((rank, outcome)) => {
+                slots[rank] = Some(outcome);
+                done[rank] = true;
+                completed += 1;
+                last_change = Instant::now();
+                if completed == p {
+                    let outcomes: Vec<RankOutcome<R>> =
+                        slots.into_iter().map(|s| s.unwrap()).collect();
+                    return Ok(assemble(p, outcomes, opts.record_trace));
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("rank thread panicked before completing");
+            }
+        }
+        let beats: Vec<u64> = shared
+            .heartbeat
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .collect();
+        if beats != last_beats {
+            last_beats = beats;
+            last_change = Instant::now();
+        } else if last_change.elapsed() >= timeout {
+            let (pes, wait_edges) = snapshot(&shared, &done);
+            return Err(Box::new(DeadlockReport {
+                stalled_for: last_change.elapsed(),
+                pes,
+                wait_edges,
+            }));
+        }
     }
 }
 
@@ -580,9 +1071,8 @@ mod tests {
     fn alltoallv_transposes() {
         let p = 4;
         let out = run(p, |ctx| {
-            let outgoing: Vec<Vec<u64>> = (0..p)
-                .map(|d| vec![(ctx.rank() * 10 + d) as u64])
-                .collect();
+            let outgoing: Vec<Vec<u64>> =
+                (0..p).map(|d| vec![(ctx.rank() * 10 + d) as u64]).collect();
             ctx.alltoallv(outgoing)
         });
         for (me, incoming) in out.results.iter().enumerate() {
@@ -605,11 +1095,17 @@ mod tests {
         assert_eq!(out.stats.phases.len(), 2);
         assert_eq!(out.stats.phases[0].total_work(), 10);
         assert_eq!(out.stats.phases[1].total_work(), 14);
-        assert_eq!(out.stats.phase_time("b", &CostModel {
-            alpha: 0.0,
-            beta: 0.0,
-            t_op: 1.0,
-        }), 7.0);
+        assert_eq!(
+            out.stats.phase_time(
+                "b",
+                &CostModel {
+                    alpha: 0.0,
+                    beta: 0.0,
+                    t_op: 1.0,
+                }
+            ),
+            7.0
+        );
     }
 
     #[test]
@@ -680,5 +1176,86 @@ mod tests {
         let c = out.stats.phases[0].per_rank[0];
         assert!(c.coll_alpha_units >= 2);
         assert_eq!(c.sent_messages, 0);
+    }
+
+    #[test]
+    fn perturbed_collectives_agree_with_unperturbed() {
+        let body = |ctx: &mut Ctx| {
+            let s = ctx.allreduce_sum(&[ctx.rank() as u64 + 1])[0];
+            let m = ctx.allreduce_max(ctx.rank() as u64);
+            (s, m)
+        };
+        let plain = run(4, body);
+        for seed in 0..4u64 {
+            let perturbed = run_sim(4, &SimOptions::perturbed(seed), body);
+            assert_eq!(perturbed.output.results, plain.results, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn perturbed_point_to_point_delivers_all() {
+        let p = 4;
+        for seed in 0..4u64 {
+            let out = run_sim(p, &SimOptions::perturbed(seed), move |ctx| {
+                for d in 0..p {
+                    if d != ctx.rank() {
+                        ctx.send_raw(d, vec![ctx.rank() as u64]);
+                    }
+                }
+                let mut got = Vec::new();
+                while got.len() < p - 1 {
+                    if let Some(m) = ctx.try_recv_raw() {
+                        got.push(m.words[0]);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got.sort_unstable();
+                got
+            });
+            for (me, got) in out.output.results.iter().enumerate() {
+                let expect: Vec<u64> = (0..p as u64).filter(|&s| s != me as u64).collect();
+                assert_eq!(got, &expect, "seed {seed} rank {me}");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_run_completes_normally() {
+        let out = run_guarded(
+            4,
+            &SimOptions::default(),
+            Duration::from_secs(5),
+            |ctx: &mut Ctx| ctx.allreduce_sum(&[1])[0],
+        )
+        .expect("no deadlock");
+        assert_eq!(out.output.results, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn guarded_run_reports_stalled_collective() {
+        // rank 0 skips the barrier and exits; 1..3 wait forever
+        let report = run_guarded(
+            4,
+            &SimOptions::default(),
+            Duration::from_millis(200),
+            |ctx: &mut Ctx| {
+                if ctx.rank() != 0 {
+                    ctx.barrier();
+                }
+            },
+        )
+        .expect_err("must diagnose the deadlock");
+        assert_eq!(report.pes.len(), 4);
+        assert!(report.pes[0].done);
+        for pe in &report.pes[1..] {
+            assert!(!pe.done);
+            assert_eq!(pe.op, "barrier");
+        }
+        // every waiter points at rank 0
+        assert!(report.wait_edges.iter().any(|&(w, o)| w == 1 && o == 0));
+        let rendered = report.to_string();
+        assert!(rendered.contains("deadlock"));
+        assert!(rendered.contains("barrier"));
     }
 }

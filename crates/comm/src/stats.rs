@@ -95,12 +95,20 @@ impl PhaseStats {
 
     /// Max over PEs of outgoing messages in this phase.
     pub fn max_sent_messages(&self) -> u64 {
-        self.per_rank.iter().map(|c| c.sent_messages).max().unwrap_or(0)
+        self.per_rank
+            .iter()
+            .map(|c| c.sent_messages)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Max over PEs of sent words (bottleneck communication volume).
     pub fn bottleneck_volume(&self) -> u64 {
-        self.per_rank.iter().map(|c| c.sent_words).max().unwrap_or(0)
+        self.per_rank
+            .iter()
+            .map(|c| c.sent_words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total words sent by all PEs.

@@ -3,8 +3,12 @@
 //! disciplines, every posted envelope must be delivered to its destination
 //! exactly once (as a multiset), and the exchange must terminate.
 
+use std::time::Duration;
+
 use proptest::prelude::*;
-use tricount_comm::{run, MessageQueue, QueueConfig, Routing};
+use tricount_comm::{
+    run, run_guarded, MessageQueue, QueueConfig, Routing, SimOptions, HEADER_WORDS,
+};
 
 /// A post schedule: per source rank, a list of (dest, payload) envelopes.
 type Schedule = Vec<Vec<(usize, Vec<u64>)>>;
@@ -34,11 +38,7 @@ fn arb_schedule() -> impl Strategy<Value = (usize, Schedule)> {
 
 fn arb_config() -> impl Strategy<Value = QueueConfig> {
     (
-        prop_oneof![
-            Just(None),
-            Just(Some(0usize)),
-            (1usize..200).prop_map(Some)
-        ],
+        prop_oneof![Just(None), Just(Some(0usize)), (1usize..200).prop_map(Some)],
         prop_oneof![Just(Routing::Direct), Just(Routing::Grid)],
     )
         .prop_map(|(delta, routing)| QueueConfig { delta, routing })
@@ -131,6 +131,61 @@ proptest! {
             prop_assert!(
                 peak <= (delta + max_record + sum_in_flight) as u64,
                 "peak {} way beyond delta {}", peak, delta
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_terminates_and_respects_memory_lemma(
+        (p, sched) in arb_schedule(),
+        delta in 1usize..64,
+        routing in prop_oneof![Just(Routing::Direct), Just(Routing::Grid)],
+    ) {
+        // The §IV-A memory lemma, as the conformance linter states it: with
+        // `delta: Some(d)` the buffered volume never exceeds d plus one
+        // maximal record under direct routing, and 2d plus two maximal
+        // records under grid routing (a poll may append one whole incoming
+        // relay aggregate before flushing). And the exchange must terminate
+        // — a stall becomes a deadlock report, not a hung suite.
+        let cfg = QueueConfig { delta: Some(delta), routing };
+        let body_sched = sched.clone();
+        let out = run_guarded(
+            p,
+            &SimOptions::default(),
+            Duration::from_secs(30),
+            move |ctx| {
+                let mut q = MessageQueue::new(ctx, cfg);
+                let mut got = 0u64;
+                let me = ctx.rank();
+                for (dest, payload) in &body_sched[me] {
+                    q.post(ctx, *dest, payload);
+                    q.poll(ctx, &mut |_c, _e| got += 1);
+                }
+                q.finish(ctx, &mut |_c, _e| got += 1);
+                (got, ctx.counters().peak_buffered_words)
+            },
+        )
+        .unwrap_or_else(|report| panic!("exchange failed to terminate: {report}"));
+        let max_record: u64 = sched
+            .iter()
+            .flatten()
+            .map(|(_, payload)| HEADER_WORDS + payload.len() as u64)
+            .max()
+            .unwrap_or(0);
+        let bound = match routing {
+            Routing::Direct => delta as u64 + max_record,
+            Routing::Grid => 2 * delta as u64 + 2 * max_record,
+        };
+        for (me, &(got, peak)) in out.output.results.iter().enumerate() {
+            prop_assert_eq!(
+                got as usize,
+                expected_inbox(p, &sched, me).len(),
+                "rank {} delivery count", me
+            );
+            prop_assert!(
+                peak <= bound,
+                "rank {} peak {} exceeds the memory bound {} (delta {}, routing {:?})",
+                me, peak, bound, delta, routing
             );
         }
     }

@@ -52,7 +52,12 @@ struct RankOutput {
     type3_corrected: f64,
 }
 
-fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig, acfg: &ApproxConfig) -> RankOutput {
+fn run_rank(
+    ctx: &mut Ctx,
+    mut lg: LocalGraph,
+    cfg: &DistConfig,
+    acfg: &ApproxConfig,
+) -> RankOutput {
     preprocess(ctx, &mut lg, cfg);
     let o = lg.orient(cfg.ordering, true);
     ctx.end_phase("preprocessing");

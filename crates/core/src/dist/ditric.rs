@@ -102,10 +102,14 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
             q.post(ctx, j, &scratch);
             // interleaved polling keeps receive buffers drained (the paper:
             // "each PE continuously polls for incoming messages")
-            while q.poll(ctx, &mut |ctx, env| handler(&o, ctx, env, &mut remote_count)) {}
+            while q.poll(ctx, &mut |ctx, env| {
+                handler(&o, ctx, env, &mut remote_count)
+            }) {}
         }
     }
-    q.finish(ctx, &mut |ctx, env| handler(&o, ctx, env, &mut remote_count));
+    q.finish(ctx, &mut |ctx, env| {
+        handler(&o, ctx, env, &mut remote_count)
+    });
 
     let total = ctx.allreduce_sum(&[local_count + remote_count])[0];
     ctx.end_phase("global");

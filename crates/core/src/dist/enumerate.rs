@@ -124,7 +124,10 @@ pub fn enumerate_on(dg: DistGraph, cfg: &DistConfig) -> Vec<Triangle> {
     });
     let mut all: Vec<Triangle> = out.results.into_iter().flatten().collect();
     all.sort_unstable();
-    debug_assert!(all.windows(2).all(|w| w[0] != w[1]), "duplicate triangle emitted");
+    debug_assert!(
+        all.windows(2).all(|w| w[0] != w[1]),
+        "duplicate triangle emitted"
+    );
     all
 }
 

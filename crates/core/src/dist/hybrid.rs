@@ -105,10 +105,14 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig, threads: us
             scratch.push(v);
             scratch.extend_from_slice(av);
             q.post(ctx, j, &scratch);
-            while q.poll(ctx, &mut |ctx, env| handler(&o, ctx, env, &mut remote_count)) {}
+            while q.poll(ctx, &mut |ctx, env| {
+                handler(&o, ctx, env, &mut remote_count)
+            }) {}
         }
     }
-    q.finish(ctx, &mut |ctx, env| handler(&o, ctx, env, &mut remote_count));
+    q.finish(ctx, &mut |ctx, env| {
+        handler(&o, ctx, env, &mut remote_count)
+    });
     let total = ctx.allreduce_sum(&[local_count + remote_count])[0];
     ctx.end_phase("global");
     total
@@ -122,7 +126,10 @@ pub fn count_hybrid(
     threads: usize,
     cfg: &DistConfig,
 ) -> CountResult {
-    assert!(threads >= 1 && cores % threads == 0, "cores must be ranks × threads");
+    assert!(
+        threads >= 1 && cores % threads == 0,
+        "cores must be ranks × threads"
+    );
     let p = cores / threads;
     let dg = DistGraph::new_balanced_vertices(g, p);
     let cells = into_cells(dg);

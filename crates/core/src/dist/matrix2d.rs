@@ -155,7 +155,7 @@ pub fn count_matrix2d(g: &Csr, p: usize) -> CountResult {
             }
             let a = row_block.unwrap(); // L_{bi, stage}: rows i, cols k
             let b = col_block.unwrap(); // L_{stage, bj}: rows k, cols j
-            // masked product: for (i,k) in A, (k,j) in B, count if (i,j) in mask
+                                        // masked product: for (i,k) in A, (k,j) in B, count if (i,j) in mask
             for (i, ks) in &a.rows {
                 for &k in ks {
                     if let Some(js) = b.cols_of(k) {

@@ -16,7 +16,7 @@ mod tests;
 
 use std::sync::Mutex;
 
-use tricount_comm::{run, Ctx, MessageQueue, QueueConfig};
+use tricount_comm::{run_sim, Ctx, MessageQueue, QueueConfig, SimOptions, Trace};
 use tricount_graph::dist::{DistGraph, LocalGraph};
 use tricount_graph::OrderingKind;
 
@@ -140,12 +140,17 @@ pub fn run_on_timed(
     run_on_impl(dg, alg, cfg, Some(cost))
 }
 
-fn run_on_impl(
+/// Like [`run_on`], but under explicit [`SimOptions`] (timing, trace
+/// recording, schedule perturbation) — the entry point of the
+/// `tricount-verify` conformance and determinism harnesses. Returns the
+/// count alongside the recorded trace, if one was requested (requires
+/// `tricount-comm`'s `trace` feature to be non-`None`).
+pub fn run_on_sim(
     dg: DistGraph,
     alg: Algorithm,
     cfg: &DistConfig,
-    timing: Option<tricount_comm::CostModel>,
-) -> Result<CountResult, DistError> {
+    opts: &SimOptions,
+) -> Result<(CountResult, Option<Trace>), DistError> {
     let p = dg.num_ranks();
     let cells = into_cells(dg);
     let body = |ctx: &mut Ctx| {
@@ -163,24 +168,33 @@ fn run_on_impl(
             Algorithm::HavoqgtLike => Ok(baselines::havoqgt_like_rank(ctx, lg, cfg)),
         }
     };
-    let out = match timing {
-        None => run(p, body),
-        Some(cost) => tricount_comm::runtime::run_timed(p, cost, body),
+    let sim = run_sim(p, opts, body);
+    let triangles = sim.output.results.into_iter().next().unwrap()?;
+    Ok((
+        CountResult {
+            triangles,
+            stats: sim.output.stats,
+        },
+        sim.trace,
+    ))
+}
+
+fn run_on_impl(
+    dg: DistGraph,
+    alg: Algorithm,
+    cfg: &DistConfig,
+    timing: Option<tricount_comm::CostModel>,
+) -> Result<CountResult, DistError> {
+    let opts = SimOptions {
+        timing,
+        ..SimOptions::default()
     };
-    let triangles = out.results.into_iter().next().unwrap()?;
-    Ok(CountResult {
-        triangles,
-        stats: out.stats,
-    })
+    run_on_sim(dg, alg, cfg, &opts).map(|(r, _)| r)
 }
 
 /// Convenience driver: partitions `g` over `p` PEs (vertex-balanced) and
 /// runs `alg` with its default configuration.
-pub fn count(
-    g: &tricount_graph::Csr,
-    p: usize,
-    alg: Algorithm,
-) -> Result<CountResult, DistError> {
+pub fn count(g: &tricount_graph::Csr, p: usize, alg: Algorithm) -> Result<CountResult, DistError> {
     run_on(DistGraph::new_balanced_vertices(g, p), alg, &alg.config())
 }
 

@@ -134,8 +134,8 @@ mod tests {
         let g = tricount_gen::rmat_default(10, 2);
         let p = 8;
         let plain = crate::dist::count(&g, p, Algorithm::Ditric).unwrap();
-        let rebal = count_rebalanced(&g, p, Algorithm::Ditric, &Algorithm::Ditric.config(), |d| d)
-            .unwrap();
+        let rebal =
+            count_rebalanced(&g, p, Algorithm::Ditric, &Algorithm::Ditric.config(), |d| d).unwrap();
         assert_eq!(plain.triangles, rebal.triangles);
         let model = CostModel::supermuc();
         assert!(

@@ -133,7 +133,10 @@ fn tric_like_oom_reproduction() {
     };
     let err = count_with(&g, 8, Algorithm::TricLike, &cfg).unwrap_err();
     match err {
-        crate::result::DistError::OutOfMemory { needed_words, limit_words } => {
+        crate::result::DistError::OutOfMemory {
+            needed_words,
+            limit_words,
+        } => {
             assert!(needed_words > limit_words);
         }
     }
@@ -245,7 +248,8 @@ fn lcc_matches_sequential() {
         (rgg2d_default(300, 2), 3),
     ] {
         let truth_delta = seq::per_vertex_counts(&g, tricount_graph::OrderingKind::Degree);
-        let truth_lcc = seq::local_clustering_coefficients(&g, tricount_graph::OrderingKind::Degree);
+        let truth_lcc =
+            seq::local_clustering_coefficients(&g, tricount_graph::OrderingKind::Degree);
         let r = lcc::lcc(&g, p, &DistConfig::default());
         assert_eq!(r.per_vertex, truth_delta);
         for (a, b) in r.lcc.iter().zip(&truth_lcc) {
@@ -271,7 +275,11 @@ fn approx_estimates_within_tolerance() {
         );
         // type-1/2 exact, type-3 approximated: total within 10%
         let rel = (r.estimate - truth).abs() / truth.max(1.0);
-        assert!(rel < 0.10, "{filter:?}: estimate {} truth {truth}", r.estimate);
+        assert!(
+            rel < 0.10,
+            "{filter:?}: estimate {} truth {truth}",
+            r.estimate
+        );
         // raw count never underestimates type-3 (no false negatives)
         assert!(r.exact_local as f64 + r.type3_raw as f64 >= truth);
     }
@@ -360,8 +368,7 @@ fn timed_runs_are_deterministic_in_counters_not_clock_order() {
     let cost = CostModel::cloud();
     let mk = || {
         let dg = DistGraph::new_balanced_vertices(&g, 4);
-        crate::dist::run_on_timed(dg, Algorithm::Ditric, &Algorithm::Ditric.config(), cost)
-            .unwrap()
+        crate::dist::run_on_timed(dg, Algorithm::Ditric, &Algorithm::Ditric.config(), cost).unwrap()
     };
     let a = mk();
     let b = mk();
@@ -379,7 +386,16 @@ fn golden_trace_on_fixed_graph() {
     // triangles, two cut edges, p = 2). Any change to message framing,
     // dedup, orientation or the degree exchange shows up here first.
     let g = graph(
-        &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3), (1, 4)],
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (2, 3),
+            (1, 4),
+        ],
         6,
     );
     let d = count(&g, 2, Algorithm::Ditric).unwrap();
@@ -393,7 +409,10 @@ fn golden_trace_on_fixed_graph() {
     // to PE1 as [v,A(v)] records → 2+3 + 2+2 = 9 words; PE1 ships nothing
     // (its oriented cut heads point backwards under the degree order).
     let glob = d.stats.phases.last().unwrap();
-    assert_eq!(glob.per_rank.iter().map(|c| c.sent_messages).sum::<u64>(), 1);
+    assert_eq!(
+        glob.per_rank.iter().map(|c| c.sent_messages).sum::<u64>(),
+        1
+    );
     assert_eq!(glob.total_volume(), 9);
     assert_eq!(d.stats.total_work(), 17);
     assert_eq!(d.stats.max_peak_buffered(), 9);

@@ -214,7 +214,10 @@ pub fn rgg2d_distributed(
         ns.sort_unstable();
         neighborhoods.push((v, ns));
     }
-    (part.clone(), LocalGraph::from_neighborhoods(part, rank, neighborhoods))
+    (
+        part.clone(),
+        LocalGraph::from_neighborhoods(part, rank, neighborhoods),
+    )
 }
 
 #[cfg(test)]
@@ -287,7 +290,9 @@ mod tests {
         // every cut edge seen from one side must be seen from the other
         let layout = RggLayout::new(600, 10.0, 3);
         let p = 5;
-        let locals: Vec<_> = (0..p).map(|r| rgg2d_distributed(&layout, p, r, 3).1).collect();
+        let locals: Vec<_> = (0..p)
+            .map(|r| rgg2d_distributed(&layout, p, r, 3).1)
+            .collect();
         let part = locals[0].partition().clone();
         for lg in &locals {
             for (v, gst) in lg.cut_edges() {

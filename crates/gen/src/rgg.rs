@@ -38,9 +38,7 @@ pub fn rgg2d(n: u64, r: f64, seed: u64) -> Csr {
     pts.sort_by(|a, b| {
         let ca = cell_of(a.0, a.1);
         let cb = cell_of(b.0, b.1);
-        (ca, a.1, a.0)
-            .partial_cmp(&(cb, b.1, b.0))
-            .unwrap()
+        (ca, a.1, a.0).partial_cmp(&(cb, b.1, b.0)).unwrap()
     });
 
     // bucket points by cell
@@ -74,7 +72,10 @@ pub fn rgg2d(n: u64, r: f64, seed: u64) -> Csr {
                 for (oy, ox) in [(0isize, 1isize), (1, -1), (1, 0), (1, 1)] {
                     let ny = cy as isize + oy;
                     let nx = cx as isize + ox;
-                    if ny < 0 || nx < 0 || ny >= cells_per_side as isize || nx >= cells_per_side as isize
+                    if ny < 0
+                        || nx < 0
+                        || ny >= cells_per_side as isize
+                        || nx >= cells_per_side as isize
                     {
                         continue;
                     }

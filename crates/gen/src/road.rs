@@ -101,10 +101,7 @@ mod tests {
         };
         let g = road(&params, 0);
         // a horizontal strip boundary crosses exactly `width` edges
-        let crossing = g
-            .edges()
-            .filter(|&(u, v)| u < 5000 && v >= 5000)
-            .count();
+        let crossing = g.edges().filter(|&(u, v)| u < 5000 && v >= 5000).count();
         assert_eq!(crossing, 100);
     }
 

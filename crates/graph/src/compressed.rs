@@ -194,15 +194,8 @@ mod tests {
     use crate::intersect::merge_count;
 
     fn sample() -> Csr {
-        let mut el = EdgeList::from_pairs(vec![
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (2, 3),
-            (3, 4),
-            (0, 4),
-            (1, 4),
-        ]);
+        let mut el =
+            EdgeList::from_pairs(vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)]);
         el.canonicalize();
         Csr::from_edges(5, &el)
     }

@@ -55,7 +55,10 @@ impl Csr {
         offsets.push(0usize);
         let mut targets = Vec::new();
         for list in lists {
-            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "lists must be sorted+unique");
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "lists must be sorted+unique"
+            );
             targets.extend_from_slice(&list);
             offsets.push(targets.len());
         }

@@ -128,8 +128,15 @@ impl LocalGraph {
         let mut targets = Vec::new();
         let mut ghost_ids = Vec::new();
         for (i, (v, ns)) in neighborhoods.into_iter().enumerate() {
-            assert_eq!(v, range.start + i as u64, "vertices must arrive in id order");
-            debug_assert!(ns.windows(2).all(|w| w[0] < w[1]), "neighborhood not sorted");
+            assert_eq!(
+                v,
+                range.start + i as u64,
+                "vertices must arrive in id order"
+            );
+            debug_assert!(
+                ns.windows(2).all(|w| w[0] < w[1]),
+                "neighborhood not sorted"
+            );
             for &u in &ns {
                 if !range.contains(&u) {
                     ghost_ids.push(u);
@@ -225,10 +232,9 @@ impl LocalGraph {
         if self.is_owned(v) {
             self.degree(v)
         } else {
-            let idx = self
-                .ghosts
-                .index_of(v)
-                .unwrap_or_else(|| panic!("vertex {v} is neither owned nor ghost on PE {}", self.rank));
+            let idx = self.ghosts.index_of(v).unwrap_or_else(|| {
+                panic!("vertex {v} is neither owned nor ghost on PE {}", self.rank)
+            });
             self.ghosts.degree(idx)
         }
     }
@@ -426,7 +432,10 @@ impl OrientedLocalGraph {
         if self.is_owned(v) {
             Some(self.a_owned(v))
         } else if self.expanded {
-            self.ghost_ids.binary_search(&v).ok().map(|i| self.a_ghost(i))
+            self.ghost_ids
+                .binary_search(&v)
+                .ok()
+                .map(|i| self.a_ghost(i))
         } else {
             None
         }
@@ -449,7 +458,12 @@ impl OrientedLocalGraph {
         off.push(0usize);
         let mut adj = Vec::new();
         for v in range.clone() {
-            adj.extend(self.a_owned(v).iter().copied().filter(|&u| !range.contains(&u)));
+            adj.extend(
+                self.a_owned(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !range.contains(&u)),
+            );
             off.push(adj.len());
         }
         ContractedGraph {
@@ -716,11 +730,8 @@ mod tests {
     #[should_panic(expected = "id order")]
     fn from_neighborhoods_rejects_misordered_vertices() {
         let (_, part) = two_pe_graph();
-        let _ = LocalGraph::from_neighborhoods(
-            part,
-            0,
-            vec![(1, vec![0]), (0, vec![1]), (2, vec![])],
-        );
+        let _ =
+            LocalGraph::from_neighborhoods(part, 0, vec![(1, vec![0]), (0, vec![1]), (2, vec![])]);
     }
 
     #[test]

@@ -84,11 +84,7 @@ impl EdgeList {
     ///
     /// Returns the mapping from new id to original id.
     pub fn remove_isolated_vertices(&mut self) -> Vec<VertexId> {
-        let mut used: Vec<VertexId> = self
-            .edges
-            .iter()
-            .flat_map(|&(u, v)| [u, v])
-            .collect();
+        let mut used: Vec<VertexId> = self.edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         used.sort_unstable();
         used.dedup();
         let remap: FxHashMap<VertexId, VertexId> = used

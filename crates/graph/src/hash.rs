@@ -5,6 +5,10 @@
 //! classic multiply-rotate Fx construction used by rustc, implemented in-tree
 //! so that no external dependency is required.
 
+// This module is the definition site of the sanctioned wrappers — the one
+// place allowed to name the std containers the workspace otherwise bans.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

@@ -40,8 +40,9 @@ pub fn read_text_edges<R: Read>(r: R) -> io::Result<EdgeList> {
             }
         };
         let parse = |s: &str| {
-            s.parse::<u64>()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad id {s:?}: {e}")))
+            s.parse::<u64>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad id {s:?}: {e}"))
+            })
         };
         el.push(parse(u)?, parse(v)?);
     }
@@ -90,7 +91,10 @@ pub fn read_binary<R: Read>(r: R) -> io::Result<Csr> {
         let u = next(&mut r)?;
         let v = next(&mut r)?;
         if u >= n || v >= n {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "edge id out of range"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "edge id out of range",
+            ));
         }
         el.push(u, v);
     }

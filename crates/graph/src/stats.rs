@@ -34,9 +34,17 @@ impl GraphStats {
             n,
             m,
             wedges: g.num_wedges(),
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             max_degree: degs.last().copied().unwrap_or(0),
-            median_degree: if degs.is_empty() { 0 } else { degs[degs.len() / 2] },
+            median_degree: if degs.is_empty() {
+                0
+            } else {
+                degs[degs.len() / 2]
+            },
             isolated: degs.iter().take_while(|&&d| d == 0).count() as u64,
         }
     }

@@ -10,12 +10,17 @@
 //! with the executing worker recorded per task so callers can compute
 //! per-worker work distributions (the modeled parallel time is the max over
 //! workers).
+//!
+//! The deques are plain mutex-guarded `VecDeque`s (owner pops the front,
+//! thieves pop the back). Tasks on the target workloads are whole-vertex
+//! set intersections, so lock traffic is negligible against task cost and
+//! the pool needs nothing beyond `std`.
 
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use std::sync::Mutex;
 
 /// The result of one task: which worker ran it and what it returned.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,47 +77,39 @@ impl Pool {
                 .collect();
         }
 
-        let injector: Injector<(usize, T)> = Injector::new();
+        // Pre-distribute tasks round-robin; imbalance is corrected by
+        // stealing from the victims' back ends.
+        let n = self.num_workers;
+        let mut deques: Vec<VecDeque<(usize, T)>> = (0..n).map(|_| VecDeque::new()).collect();
         for (i, t) in tasks.into_iter().enumerate() {
-            injector.push((i, t));
+            deques[i % n].push_back((i, t));
         }
+        let queues: Vec<Mutex<VecDeque<(usize, T)>>> = deques.into_iter().map(Mutex::new).collect();
         let remaining = AtomicUsize::new(total);
-        let workers: Vec<Worker<(usize, T)>> =
-            (0..self.num_workers).map(|_| Worker::new_fifo()).collect();
-        let stealers: Vec<Stealer<(usize, T)>> = workers.iter().map(|w| w.stealer()).collect();
 
-        let mut partials: Vec<Vec<TaskResult<R>>> = Vec::with_capacity(self.num_workers);
+        let mut partials: Vec<Vec<TaskResult<R>>> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.num_workers);
-            for (wid, local) in workers.into_iter().enumerate() {
-                let injector = &injector;
-                let stealers = &stealers;
+            let mut handles = Vec::with_capacity(n);
+            for wid in 0..n {
+                let queues = &queues;
                 let remaining = &remaining;
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut out: Vec<TaskResult<R>> = Vec::new();
                     loop {
-                        if remaining.load(Ordering::Acquire) == 0 {
-                            break;
-                        }
-                        // local deque → global injector → steal from peers
-                        let job = local.pop().or_else(|| {
-                            std::iter::repeat_with(|| {
-                                injector.steal_batch_and_pop(&local).or_else(|| {
-                                    stealers
-                                        .iter()
-                                        .enumerate()
-                                        .filter(|(i, _)| *i != wid)
-                                        .map(|(_, s)| s.steal())
-                                        .collect()
+                        // own deque front → steal from peers' backs
+                        let job = queues[wid]
+                            .lock()
+                            .expect("worker deque poisoned")
+                            .pop_front()
+                            .or_else(|| {
+                                (1..n).find_map(|off| {
+                                    queues[(wid + off) % n]
+                                        .lock()
+                                        .expect("worker deque poisoned")
+                                        .pop_back()
                                 })
-                            })
-                            .find(|s| !s.is_retry())
-                            .and_then(|s| match s {
-                                Steal::Success(job) => Some(job),
-                                _ => None,
-                            })
-                        });
+                            });
                         match job {
                             Some((idx, task)) => {
                                 let result = f(idx, task);
@@ -123,7 +120,12 @@ impl Pool {
                                 });
                                 remaining.fetch_sub(1, Ordering::AcqRel);
                             }
-                            None => std::thread::yield_now(),
+                            None => {
+                                if remaining.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
                         }
                     }
                     out
@@ -212,7 +214,9 @@ mod tests {
     fn uneven_tasks_complete() {
         // a few heavy tasks among many light ones — all must finish
         let pool = Pool::new(4);
-        let tasks: Vec<u64> = (0..64).map(|i| if i % 16 == 0 { 200_000 } else { 10 }).collect();
+        let tasks: Vec<u64> = (0..64)
+            .map(|i| if i % 16 == 0 { 200_000 } else { 10 })
+            .collect();
         let results = pool.run_tasks(tasks, |_i, work| {
             let mut acc = 0u64;
             for k in 0..work {

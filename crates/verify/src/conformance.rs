@@ -1,0 +1,669 @@
+//! The protocol conformance linter: machine-checks the paper's claimed
+//! message-trace properties on a recorded [`Trace`].
+//!
+//! Invariant families (each maps to a [`Violation`] variant):
+//!
+//! 1. **Exactly-once delivery** — the multiset of posted envelopes
+//!    `(dest, payload)` equals the multiset of envelopes delivered at each
+//!    destination. A dropped envelope or a double delivery (e.g. a relay
+//!    bug) breaks benchmark correctness silently; here it becomes
+//!    [`Violation::MissingDelivery`] / [`Violation::ExtraDelivery`].
+//! 2. **§IV-A memory lemma** — with `delta: Some(d)`, the buffered volume
+//!    observed after any record append stays within `d` plus bounded
+//!    overshoot: one maximal record under direct routing, and `2d` plus two
+//!    maximal records under grid routing (a poll may append one whole
+//!    incoming aggregate of relay records before flushing). `delta: None`
+//!    (static aggregation) is exempt — its superlinear buffering is the
+//!    behaviour the paper criticises in TriC, not a bug.
+//! 3. **§IV-B grid fan-out** — inside grid-routed queue segments a PE's
+//!    flushes go only to its O(√p) first-hop peers or down its own column
+//!    (the second hop of a relay); anything else defeats the indirection.
+//! 4. **Collective epoch alignment** — every PE records the same sequence
+//!    of collective entries and phase ends, and each entry is matched by
+//!    its exit. Skew here is the precursor of deadlock.
+//! 5. **Meter conformance** — the words the cost model was charged for
+//!    point-to-point traffic equal the words that actually crossed the
+//!    simulated wire (checked per PE and direction against [`RunStats`]).
+
+use std::fmt;
+
+use tricount_comm::{CollKind, Grid, RunStats, SimOutput, Trace, TraceEvent, HEADER_WORDS};
+use tricount_graph::hash::{FxHashMap, FxHashSet};
+
+/// One detected protocol violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An envelope was posted but never delivered at its destination.
+    MissingDelivery {
+        /// Destination PE of the lost envelope(s).
+        dest: usize,
+        /// Payload hash of the lost envelope(s).
+        payload_hash: u64,
+        /// How many copies went missing.
+        count: u64,
+    },
+    /// An envelope was delivered that was never posted (or delivered twice).
+    ExtraDelivery {
+        /// PE that received the surplus envelope(s).
+        dest: usize,
+        /// Payload hash of the surplus envelope(s).
+        payload_hash: u64,
+        /// How many surplus copies arrived.
+        count: u64,
+    },
+    /// Buffered volume exceeded the §IV-A memory bound.
+    MemoryBound {
+        /// PE whose buffers overshot.
+        pe: usize,
+        /// Observed buffered words after a record append.
+        buffered: u64,
+        /// The bound in force (δ plus allowed overshoot).
+        bound: u64,
+        /// The configured flush threshold δ.
+        delta: u64,
+    },
+    /// A grid-routed flush left toward a peer outside the allowed
+    /// row/column set.
+    GridFanout {
+        /// Flushing PE.
+        pe: usize,
+        /// The disallowed peer.
+        peer: usize,
+    },
+    /// A PE's collective/phase sequence diverges from rank 0's.
+    EpochMismatch {
+        /// The diverging PE.
+        pe: usize,
+        /// Index into the epoch sequence where the divergence starts.
+        index: usize,
+        /// What rank 0 recorded at that index (or "∅" past its end).
+        expected: String,
+        /// What this PE recorded (or "∅" past its end).
+        found: String,
+    },
+    /// A collective entry without a matching exit (or vice versa) on one PE.
+    UnbalancedCollective {
+        /// The offending PE.
+        pe: usize,
+        /// Human-readable description of the imbalance.
+        detail: String,
+    },
+    /// Metered point-to-point words disagree with the traced words.
+    MeterMismatch {
+        /// The PE whose counters disagree.
+        pe: usize,
+        /// `"sent"` or `"received"`.
+        direction: &'static str,
+        /// Words according to the cost-model counters.
+        metered: u64,
+        /// Words according to the trace.
+        traced: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingDelivery {
+                dest,
+                payload_hash,
+                count,
+            } => write!(
+                f,
+                "{count} envelope(s) posted to PE {dest} (payload {payload_hash:#x}) never delivered"
+            ),
+            Violation::ExtraDelivery {
+                dest,
+                payload_hash,
+                count,
+            } => write!(
+                f,
+                "{count} surplus envelope(s) delivered at PE {dest} (payload {payload_hash:#x})"
+            ),
+            Violation::MemoryBound {
+                pe,
+                buffered,
+                bound,
+                delta,
+            } => write!(
+                f,
+                "PE {pe} buffered {buffered} words, exceeding the memory bound {bound} (delta = {delta})"
+            ),
+            Violation::GridFanout { pe, peer } => write!(
+                f,
+                "PE {pe} flushed a grid-routed buffer to PE {peer}, outside its row/column peer set"
+            ),
+            Violation::EpochMismatch {
+                pe,
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "PE {pe} epoch sequence diverges at step {index}: rank 0 has {expected}, PE has {found}"
+            ),
+            Violation::UnbalancedCollective { pe, detail } => {
+                write!(f, "PE {pe}: unbalanced collective ({detail})")
+            }
+            Violation::MeterMismatch {
+                pe,
+                direction,
+                metered,
+                traced,
+            } => write!(
+                f,
+                "PE {pe}: cost model metered {metered} {direction} words but the trace shows {traced}"
+            ),
+        }
+    }
+}
+
+/// The linter's verdict on one trace.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceReport {
+    /// All detected violations, in detection order.
+    pub violations: Vec<Violation>,
+    /// Envelopes posted across all PEs (fault-dropped posts included).
+    pub envelopes_posted: u64,
+    /// Envelopes delivered across all PEs.
+    pub envelopes_delivered: u64,
+    /// Max over PEs of distinct peers contacted by grid-segment flushes.
+    pub max_grid_fanout: usize,
+}
+
+impl ConformanceReport {
+    /// Whether no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conformance: {} posted, {} delivered, grid fan-out ≤ {}: {}",
+            self.envelopes_posted,
+            self.envelopes_delivered,
+            self.max_grid_fanout,
+            if self.is_clean() {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            }
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-PE queue-segment state while scanning (invariants 2 and 3).
+struct Segment {
+    delta: Option<u64>,
+    grid: bool,
+    max_record: u64,
+}
+
+/// One step of the epoch sequence (invariant 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Epoch {
+    Coll(&'static str),
+    Phase(String),
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Epoch::Coll(name) => write!(f, "collective '{name}'"),
+            Epoch::Phase(name) => write!(f, "phase end '{name}'"),
+        }
+    }
+}
+
+/// Runs invariants 1–4 over a recorded trace.
+pub fn check_trace(trace: &Trace) -> ConformanceReport {
+    let p = trace.num_ranks();
+    let mut report = ConformanceReport::default();
+
+    // Invariant 1: exactly-once delivery, as a signed multiset keyed by
+    // (dest, payload_hash, payload_words).
+    let mut ledger: FxHashMap<(usize, u64, u64), i64> = FxHashMap::default();
+
+    // Invariant 4: per-PE epoch sequences and enter/exit pairing.
+    let mut epochs: Vec<Vec<Epoch>> = vec![Vec::new(); p];
+
+    let grid = Grid::new(p.max(1));
+    let mut allowed_cache: FxHashMap<usize, FxHashSet<usize>> = FxHashMap::default();
+
+    for (pe, events) in trace.per_pe.iter().enumerate() {
+        let mut segment: Option<Segment> = None;
+        let mut coll_stack: Vec<CollKind> = Vec::new();
+        let mut grid_peers: FxHashSet<usize> = FxHashSet::default();
+
+        for ev in events {
+            match ev {
+                TraceEvent::QueueConfigured { delta, grid } => {
+                    segment = Some(Segment {
+                        delta: *delta,
+                        grid: *grid,
+                        max_record: 0,
+                    });
+                }
+                TraceEvent::Posted {
+                    dest,
+                    payload_words,
+                    payload_hash,
+                    buffered_after,
+                    ..
+                } => {
+                    report.envelopes_posted += 1;
+                    *ledger
+                        .entry((*dest, *payload_hash, *payload_words))
+                        .or_insert(0) += 1;
+                    check_memory(
+                        pe,
+                        &mut segment,
+                        *payload_words,
+                        *buffered_after,
+                        &mut report,
+                    );
+                }
+                TraceEvent::Relayed {
+                    payload_words,
+                    buffered_after,
+                    ..
+                } => {
+                    check_memory(
+                        pe,
+                        &mut segment,
+                        *payload_words,
+                        *buffered_after,
+                        &mut report,
+                    );
+                }
+                TraceEvent::Delivered {
+                    payload_words,
+                    payload_hash,
+                } => {
+                    report.envelopes_delivered += 1;
+                    *ledger
+                        .entry((pe, *payload_hash, *payload_words))
+                        .or_insert(0) -= 1;
+                }
+                TraceEvent::Flushed { peer, .. } => {
+                    if segment.as_ref().is_some_and(|s| s.grid) {
+                        grid_peers.insert(*peer);
+                        let allowed = allowed_cache
+                            .entry(pe)
+                            .or_insert_with(|| allowed_grid_peers(&grid, pe));
+                        if !allowed.contains(peer) {
+                            report
+                                .violations
+                                .push(Violation::GridFanout { pe, peer: *peer });
+                        }
+                    }
+                }
+                TraceEvent::Sent { .. } | TraceEvent::Received { .. } => {}
+                TraceEvent::CollEnter { kind } => {
+                    coll_stack.push(*kind);
+                    epochs[pe].push(Epoch::Coll(kind.name()));
+                }
+                TraceEvent::CollExit { kind } => match coll_stack.pop() {
+                    Some(entered) if entered == *kind => {}
+                    Some(entered) => report.violations.push(Violation::UnbalancedCollective {
+                        pe,
+                        detail: format!(
+                            "exited '{}' while inside '{}'",
+                            kind.name(),
+                            entered.name()
+                        ),
+                    }),
+                    None => report.violations.push(Violation::UnbalancedCollective {
+                        pe,
+                        detail: format!("exit of '{}' without an entry", kind.name()),
+                    }),
+                },
+                TraceEvent::PhaseEnded { name } => {
+                    epochs[pe].push(Epoch::Phase(name.clone()));
+                }
+            }
+        }
+        for kind in coll_stack {
+            report.violations.push(Violation::UnbalancedCollective {
+                pe,
+                detail: format!("'{}' entered but never exited", kind.name()),
+            });
+        }
+        report.max_grid_fanout = report.max_grid_fanout.max(grid_peers.len());
+    }
+
+    // Settle the delivery ledger. Sort for deterministic violation order.
+    let mut unsettled: Vec<(&(usize, u64, u64), &i64)> =
+        ledger.iter().filter(|(_, &c)| c != 0).collect();
+    unsettled.sort_unstable();
+    for (&(dest, payload_hash, _), &count) in unsettled {
+        if count > 0 {
+            report.violations.push(Violation::MissingDelivery {
+                dest,
+                payload_hash,
+                count: count as u64,
+            });
+        } else {
+            report.violations.push(Violation::ExtraDelivery {
+                dest,
+                payload_hash,
+                count: (-count) as u64,
+            });
+        }
+    }
+
+    // Epoch alignment against rank 0.
+    if p > 1 {
+        let reference = epochs[0].clone();
+        for (pe, seq) in epochs.iter().enumerate().skip(1) {
+            let steps = reference.len().max(seq.len());
+            for i in 0..steps {
+                let expected = reference.get(i);
+                let found = seq.get(i);
+                if expected != found {
+                    report.violations.push(Violation::EpochMismatch {
+                        pe,
+                        index: i,
+                        expected: expected.map_or_else(|| "∅".to_string(), |e| e.to_string()),
+                        found: found.map_or_else(|| "∅".to_string(), |e| e.to_string()),
+                    });
+                    break; // one divergence report per PE
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Invariant 2: the §IV-A memory bound for one record-append observation.
+fn check_memory(
+    pe: usize,
+    segment: &mut Option<Segment>,
+    payload_words: u64,
+    buffered_after: u64,
+    report: &mut ConformanceReport,
+) {
+    let Some(seg) = segment.as_mut() else {
+        return;
+    };
+    let record = HEADER_WORDS + payload_words;
+    seg.max_record = seg.max_record.max(record);
+    let Some(delta) = seg.delta else {
+        return; // static aggregation: superlinear by design
+    };
+    let bound = if seg.grid {
+        2 * delta + 2 * seg.max_record
+    } else {
+        delta + seg.max_record
+    };
+    if buffered_after > bound {
+        report.violations.push(Violation::MemoryBound {
+            pe,
+            buffered: buffered_after,
+            bound,
+            delta,
+        });
+    }
+}
+
+/// Invariant 3's allowed peer set: first-hop proxies of `pe` plus every PE
+/// in `pe`'s own column (relay second hops travel down the destination's
+/// column, which is the relaying proxy's column).
+fn allowed_grid_peers(grid: &Grid, pe: usize) -> FxHashSet<usize> {
+    let mut allowed: FxHashSet<usize> = grid.first_hop_peers(pe).into_iter().collect();
+    let col = grid.pos(pe).1;
+    for q in 0..grid.num_ranks() {
+        if q != pe && grid.pos(q).1 == col {
+            allowed.insert(q);
+        }
+    }
+    allowed
+}
+
+/// Invariant 5: metered vs. traced point-to-point words, per PE and
+/// direction.
+pub fn check_meters(trace: &Trace, stats: &RunStats) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (pe, events) in trace.per_pe.iter().enumerate() {
+        let traced_sent: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sent { words, .. } => Some(*words),
+                _ => None,
+            })
+            .sum();
+        let traced_recv: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Received { words, .. } => Some(*words),
+                _ => None,
+            })
+            .sum();
+        let metered_sent: u64 = stats
+            .phases
+            .iter()
+            .map(|ph| ph.per_rank[pe].sent_words)
+            .sum();
+        let metered_recv: u64 = stats
+            .phases
+            .iter()
+            .map(|ph| ph.per_rank[pe].recv_words)
+            .sum();
+        if traced_sent != metered_sent {
+            violations.push(Violation::MeterMismatch {
+                pe,
+                direction: "sent",
+                metered: metered_sent,
+                traced: traced_sent,
+            });
+        }
+        if traced_recv != metered_recv {
+            violations.push(Violation::MeterMismatch {
+                pe,
+                direction: "received",
+                metered: metered_recv,
+                traced: traced_recv,
+            });
+        }
+    }
+    violations
+}
+
+/// Runs every invariant (1–5) over a traced simulation output. Panics if
+/// the run was not traced (`SimOptions::record_trace` unset or the `trace`
+/// feature missing) — calling the linter without a trace is a harness bug.
+pub fn check_sim<R>(sim: &SimOutput<R>) -> ConformanceReport {
+    let trace = sim
+        .trace
+        .as_ref()
+        .expect("run was not traced; enable SimOptions::record_trace and the `trace` feature");
+    let mut report = check_trace(trace);
+    report
+        .violations
+        .extend(check_meters(trace, &sim.output.stats));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricount_comm::hash_words;
+
+    fn posted(dest: usize, payload: &[u64], buffered_after: u64) -> TraceEvent {
+        TraceEvent::Posted {
+            dest,
+            hop: dest,
+            payload_words: payload.len() as u64,
+            payload_hash: hash_words(payload),
+            buffered_after,
+        }
+    }
+
+    fn delivered(payload: &[u64]) -> TraceEvent {
+        TraceEvent::Delivered {
+            payload_words: payload.len() as u64,
+            payload_hash: hash_words(payload),
+        }
+    }
+
+    fn queue(delta: Option<u64>, grid: bool) -> TraceEvent {
+        TraceEvent::QueueConfigured { delta, grid }
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let rep = check_trace(&Trace::default());
+        assert!(rep.is_clean(), "{rep}");
+    }
+
+    #[test]
+    fn matched_post_and_delivery_is_clean() {
+        let trace = Trace {
+            per_pe: vec![
+                vec![queue(Some(8), false), posted(1, &[42, 43], 4)],
+                vec![queue(Some(8), false), delivered(&[42, 43])],
+            ],
+        };
+        let rep = check_trace(&trace);
+        assert!(rep.is_clean(), "{rep}");
+        assert_eq!(rep.envelopes_posted, 1);
+        assert_eq!(rep.envelopes_delivered, 1);
+    }
+
+    #[test]
+    fn missing_delivery_detected() {
+        let trace = Trace {
+            per_pe: vec![vec![queue(Some(8), false), posted(1, &[9], 3)], vec![]],
+        };
+        let rep = check_trace(&trace);
+        assert!(matches!(
+            rep.violations.as_slice(),
+            [Violation::MissingDelivery {
+                dest: 1,
+                count: 1,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn double_delivery_detected() {
+        let trace = Trace {
+            per_pe: vec![
+                vec![queue(Some(8), false), posted(1, &[9], 3)],
+                vec![delivered(&[9]), delivered(&[9])],
+            ],
+        };
+        let rep = check_trace(&trace);
+        assert!(matches!(
+            rep.violations.as_slice(),
+            [Violation::ExtraDelivery {
+                dest: 1,
+                count: 1,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn memory_bound_breach_detected() {
+        // δ=4, record = 2+1 = 3 words; buffered_after 10 > 4+3
+        let trace = Trace {
+            per_pe: vec![
+                vec![
+                    queue(Some(4), false),
+                    posted(1, &[1], 3),
+                    posted(1, &[2], 10),
+                ],
+                vec![delivered(&[1]), delivered(&[2])],
+            ],
+        };
+        let rep = check_trace(&trace);
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            Violation::MemoryBound {
+                pe: 0,
+                buffered: 10,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn static_aggregation_exempt_from_memory_bound() {
+        let trace = Trace {
+            per_pe: vec![
+                vec![queue(None, false), posted(1, &[1], 1_000_000)],
+                vec![delivered(&[1])],
+            ],
+        };
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn grid_fanout_violation_detected() {
+        // p=16: PE 0's row is {1,2,3}, column {4,8,12}; flushing to 5 in a
+        // grid segment is out of set.
+        let mut per_pe = vec![Vec::new(); 16];
+        per_pe[0] = vec![
+            queue(Some(8), true),
+            TraceEvent::Flushed { peer: 1, words: 4 },
+            TraceEvent::Flushed { peer: 5, words: 4 },
+        ];
+        let rep = check_trace(&Trace { per_pe });
+        assert!(matches!(
+            rep.violations.as_slice(),
+            [Violation::GridFanout { pe: 0, peer: 5 }]
+        ));
+        assert_eq!(rep.max_grid_fanout, 2);
+    }
+
+    #[test]
+    fn epoch_skew_detected() {
+        let enter = |k| TraceEvent::CollEnter { kind: k };
+        let exit = |k| TraceEvent::CollExit { kind: k };
+        let trace = Trace {
+            per_pe: vec![
+                vec![
+                    enter(CollKind::Barrier),
+                    exit(CollKind::Barrier),
+                    enter(CollKind::AllreduceSum),
+                    exit(CollKind::AllreduceSum),
+                ],
+                // PE 1 skips the barrier
+                vec![enter(CollKind::AllreduceSum), exit(CollKind::AllreduceSum)],
+            ],
+        };
+        let rep = check_trace(&trace);
+        assert!(matches!(
+            rep.violations.as_slice(),
+            [Violation::EpochMismatch {
+                pe: 1,
+                index: 0,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn unbalanced_collective_detected() {
+        let trace = Trace {
+            per_pe: vec![vec![TraceEvent::CollEnter {
+                kind: CollKind::Barrier,
+            }]],
+        };
+        let rep = check_trace(&trace);
+        assert!(matches!(
+            rep.violations.as_slice(),
+            [Violation::UnbalancedCollective { pe: 0, .. }]
+        ));
+    }
+}

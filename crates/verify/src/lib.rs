@@ -1,0 +1,10 @@
+//! Verification layer for the simulated distributed runtime: a protocol
+//! conformance linter over recorded traces (`tricount-comm`'s `trace`
+//! feature) and a determinism/deadlock harness.
+
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod determinism;
+
+pub use conformance::{check_trace, ConformanceReport, Violation};

@@ -23,7 +23,10 @@ fn main() {
 
     // 2. Sequential baseline: COMPACT-FORWARD (degree-ordered EDGEITERATOR).
     let s = seq::compact_forward(&g);
-    println!("sequential: {} triangles ({} intersection ops)", s.triangles, s.ops);
+    println!(
+        "sequential: {} triangles ({} intersection ops)",
+        s.triangles, s.ops
+    );
 
     // 3. Distributed: CETRIC on 8 simulated PEs. The graph is 1D-partitioned
     //    by vertex id; each PE runs as a thread; every message is metered.
@@ -34,7 +37,10 @@ fn main() {
 
     // 4. Inspect the per-phase statistics the paper's evaluation plots.
     let model = CostModel::supermuc();
-    println!("{:<15} {:>12} {:>12} {:>14} {:>12}", "phase", "msgs", "words", "work(ops)", "time(model)");
+    println!(
+        "{:<15} {:>12} {:>12} {:>14} {:>12}",
+        "phase", "msgs", "words", "work(ops)", "time(model)"
+    );
     for ph in &r.stats.phases {
         println!(
             "{:<15} {:>12} {:>12} {:>14} {:>9.3} ms",
@@ -53,7 +59,10 @@ fn main() {
     );
 
     // 5. Compare algorithm variants on the same graph.
-    println!("\n{:<22} {:>10} {:>14} {:>12}", "algorithm", "msgs", "volume(words)", "time(model)");
+    println!(
+        "\n{:<22} {:>10} {:>14} {:>12}",
+        "algorithm", "msgs", "volume(words)", "time(model)"
+    );
     for alg in Algorithm::all() {
         match count(&g, p, alg) {
             Ok(r) => println!(

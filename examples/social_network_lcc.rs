@@ -40,7 +40,13 @@ fn main() {
     println!("\nLCC distribution over {eligible} vertices with degree >= 2:");
     for (i, &count) in hist.iter().enumerate() {
         let bar = "#".repeat((count * 60 / eligible.max(1)).max(usize::from(count > 0)));
-        println!("[{:.1},{:.1}) {:>7} {}", i as f64 / 10.0, (i + 1) as f64 / 10.0, count, bar);
+        println!(
+            "[{:.1},{:.1}) {:>7} {}",
+            i as f64 / 10.0,
+            (i + 1) as f64 / 10.0,
+            count,
+            bar
+        );
     }
 
     // Flag suspicious accounts: top-degree vertices whose LCC is far below
@@ -49,7 +55,10 @@ fn main() {
     let mut ranked: Vec<u64> = g.vertices().collect();
     ranked.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
     println!("\nmean LCC = {mean_lcc:.4}; high-degree accounts:");
-    println!("{:>10} {:>8} {:>10} {:>10}  verdict", "vertex", "degree", "triangles", "lcc");
+    println!(
+        "{:>10} {:>8} {:>10} {:>10}  verdict",
+        "vertex", "degree", "triangles", "lcc"
+    );
     for &v in ranked.iter().take(10) {
         let l = result.lcc[v as usize];
         let verdict = if l < mean_lcc * 0.5 {

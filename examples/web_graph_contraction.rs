@@ -41,7 +41,10 @@ fn main() {
     };
     let work = |r: &CountResult| r.stats.total_work();
 
-    println!("{:<10} {:>16} {:>16} {:>14}", "", "global volume", "local work", "messages");
+    println!(
+        "{:<10} {:>16} {:>16} {:>14}",
+        "", "global volume", "local work", "messages"
+    );
     println!(
         "{:<10} {:>16} {:>16} {:>14}",
         "DITRIC",
@@ -64,15 +67,16 @@ fn main() {
 
     // Price the same traces under both network regimes.
     for (label, model) in [
-        ("SuperMUC-like (alpha=2us, 100Gbit/s)", CostModel::supermuc()),
+        (
+            "SuperMUC-like (alpha=2us, 100Gbit/s)",
+            CostModel::supermuc(),
+        ),
         ("cloud-like    (alpha=50us, 10Gbit/s)", CostModel::cloud()),
     ] {
         let td = ditric.modeled_time(&model) * 1e3;
         let tc = cetric.modeled_time(&model) * 1e3;
         let winner = if td <= tc { "DITRIC" } else { "CETRIC" };
-        println!(
-            "\n[{label}]\n  DITRIC {td:>9.3} ms | CETRIC {tc:>9.3} ms  ->  {winner} wins"
-        );
+        println!("\n[{label}]\n  DITRIC {td:>9.3} ms | CETRIC {tc:>9.3} ms  ->  {winner} wins");
     }
     println!(
         "\n(the paper, §V-E: \"We still expect our contraction-based algorithm \

@@ -54,8 +54,14 @@ fn sampling_estimators_bracket_the_truth() {
         colorful_mean +=
             sampling::colorful_estimate(&g, 4, Algorithm::Ditric, 2, s).unwrap() / runs as f64;
     }
-    assert!((doulion_mean - truth).abs() / truth < 0.25, "DOULION {doulion_mean} vs {truth}");
-    assert!((colorful_mean - truth).abs() / truth < 0.25, "colorful {colorful_mean} vs {truth}");
+    assert!(
+        (doulion_mean - truth).abs() / truth < 0.25,
+        "DOULION {doulion_mean} vs {truth}"
+    );
+    assert!(
+        (colorful_mean - truth).abs() / truth < 0.25,
+        "colorful {colorful_mean} vs {truth}"
+    );
     // and sparsification genuinely shrinks the communicated graph
     let sparse = sampling::doulion_sparsify(&g, 0.25, 1);
     assert!(sparse.num_edges() < g.num_edges() / 2);

@@ -63,7 +63,10 @@ fn proxy_families_have_table1_character() {
     // road proxy: triangles per edge well below 0.1 (paper: 697k tri / 22M m)
     assert!(per_edge(&road) < 0.1, "road per-edge {}", per_edge(&road));
     // social proxy: wedges per vertex far above road's (hubs)
-    assert!(social.num_wedges() / social.num_vertices() > 20 * (road.num_wedges() / road.num_vertices()).max(1));
+    assert!(
+        social.num_wedges() / social.num_vertices()
+            > 20 * (road.num_wedges() / road.num_vertices()).max(1)
+    );
 }
 
 #[test]
@@ -77,7 +80,10 @@ fn paper_stats_have_expected_magnitudes() {
     let usa = Dataset::RoadUsa.paper_stats();
     assert_eq!(usa.triangles, 438_804);
     // ordering of the table rows
-    let names: Vec<&str> = Dataset::all().iter().map(|d| d.paper_stats().name).collect();
+    let names: Vec<&str> = Dataset::all()
+        .iter()
+        .map(|d| d.paper_stats().name)
+        .collect();
     assert_eq!(
         names,
         vec![

@@ -12,17 +12,21 @@ use tricount_graph::ordering::{orient, OrderingKind};
 /// Strategy: a random simple graph as a canonical edge list over `n ≤ 24`
 /// vertices.
 fn arb_graph() -> impl Strategy<Value = Csr> {
-    (2u64..24, proptest::collection::vec((0u64..24, 0u64..24), 0..80)).prop_map(|(n, pairs)| {
-        let mut el = EdgeList::new();
-        for (u, v) in pairs {
-            let (u, v) = (u % n, v % n);
-            if u != v {
-                el.push(u, v);
+    (
+        2u64..24,
+        proptest::collection::vec((0u64..24, 0u64..24), 0..80),
+    )
+        .prop_map(|(n, pairs)| {
+            let mut el = EdgeList::new();
+            for (u, v) in pairs {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    el.push(u, v);
+                }
             }
-        }
-        el.canonicalize();
-        Csr::from_edges(n, &el)
-    })
+            el.canonicalize();
+            Csr::from_edges(n, &el)
+        })
 }
 
 proptest! {

@@ -88,8 +88,18 @@ fn indirection_caps_peer_fanout_at_scale() {
     // is dense. Compare only the global phase peers → use last phase.
     let global_direct = direct.stats.phases.last().unwrap();
     let global_indirect = indirect.stats.phases.last().unwrap();
-    let gd = global_direct.per_rank.iter().map(|c| c.recv_peers).max().unwrap();
-    let gi = global_indirect.per_rank.iter().map(|c| c.recv_peers).max().unwrap();
+    let gd = global_direct
+        .per_rank
+        .iter()
+        .map(|c| c.recv_peers)
+        .max()
+        .unwrap();
+    let gi = global_indirect
+        .per_rank
+        .iter()
+        .map(|c| c.recv_peers)
+        .max()
+        .unwrap();
     assert!(
         gi <= gd,
         "indirect peers {gi} > direct {gd} (run-wide {max_peers_indirect} vs {max_peers_direct})"
@@ -103,7 +113,10 @@ fn memory_bounds_linear_vs_superlinear() {
     let g = cetric::gen::rmat_default(10, 9);
     let p = 8;
     let dg = DistGraph::new_balanced_vertices(&g, p);
-    let max_entries = (0..p).map(|r| dg.local(r).num_local_entries()).max().unwrap();
+    let max_entries = (0..p)
+        .map(|r| dg.local(r).num_local_entries())
+        .max()
+        .unwrap();
 
     let ditric = count(&g, p, Algorithm::Ditric).unwrap();
     // DITRIC: peak buffer within a small factor of δ (=|E_i|/4) — linear
@@ -133,10 +146,19 @@ fn modeled_time_decreases_then_flattens_with_p() {
     let model = CostModel::supermuc();
     let t: Vec<f64> = [2usize, 16, 32]
         .iter()
-        .map(|&p| count(&g, p, Algorithm::Ditric).unwrap().modeled_time(&model))
+        .map(|&p| {
+            count(&g, p, Algorithm::Ditric)
+                .unwrap()
+                .modeled_time(&model)
+        })
         .collect();
     assert!(t[1] < t[0] / 2.0, "no speedup: t2={} t16={}", t[0], t[1]);
-    assert!(t[2] < t[0], "scaling wall at p=32: t2={} t32={}", t[0], t[2]);
+    assert!(
+        t[2] < t[0],
+        "scaling wall at p=32: t2={} t32={}",
+        t[0],
+        t[2]
+    );
 }
 
 #[test]
@@ -155,7 +177,10 @@ fn cloud_network_favours_cetric_supermuc_less_so() {
         adv_slow > adv_fast,
         "contraction advantage should grow on slow networks: fast {adv_fast:.3} slow {adv_slow:.3}"
     );
-    assert!(adv_slow > 1.0, "CETRIC must win outright on the cloud model");
+    assert!(
+        adv_slow > 1.0,
+        "CETRIC must win outright on the cloud model"
+    );
 }
 
 #[test]
