@@ -53,6 +53,7 @@ fn main() {
                             fmt_count(r.stats.bottleneck_volume())
                         ),
                         Err(DistError::OutOfMemory { .. }) => "OOM".to_string(),
+                        Err(DistError::Deadlock { .. }) => "DEADLOCK".to_string(),
                     }
                 })
                 .collect();

@@ -16,6 +16,7 @@ use cetric::core::seq;
 use cetric::graph::compressed::CompressedCsr;
 use cetric::graph::intersect::{binary_search_count, gallop_count, merge_count};
 use cetric::graph::ordering::{orient, relabel_by_degree, OrderingKind};
+use tricount_bench::report::BenchReport;
 use tricount_bench::{fmt_time, print_table, Row, Scale};
 
 /// Times `f` as the median over `reps` batches of `batch` calls, returning
@@ -44,7 +45,7 @@ fn lists(n: usize, stride_a: u64, stride_b: u64) -> (Vec<u64>, Vec<u64>) {
 /// One intersection micro-benchmark: label plus the kernel to time.
 type Kernel<'a> = Box<dyn Fn() -> u64 + 'a>;
 
-fn bench_intersections(reps: usize, rows: &mut Vec<Row>) {
+fn bench_intersections(reps: usize, rows: &mut Vec<Row>, report: &mut BenchReport) {
     let (a, b) = lists(1024, 2, 3);
     let (small, _) = lists(16, 97, 1);
     let large: Vec<u64> = (0..65536u64).collect();
@@ -76,6 +77,7 @@ fn bench_intersections(reps: usize, rows: &mut Vec<Row>) {
     ];
     for (name, f) in cases {
         let t = time_per_call(reps, 64, &*f);
+        report.push_seconds(name, t);
         rows.push(Row {
             label: name.to_string(),
             cells: vec![fmt_time(t)],
@@ -83,10 +85,11 @@ fn bench_intersections(reps: usize, rows: &mut Vec<Row>) {
     }
 }
 
-fn bench_sequential_counting(reps: usize, rows: &mut Vec<Row>) {
+fn bench_sequential_counting(reps: usize, rows: &mut Vec<Row>, report: &mut BenchReport) {
     let graph = cetric::gen::rmat_default(12, 7);
     let compressed = CompressedCsr::from_csr(&graph);
     let t = time_per_call(reps, 2, || seq::compact_forward(black_box(&graph)));
+    report.push_seconds("seq/compact_forward/rmat12", t);
     rows.push(Row {
         label: "seq/compact_forward/rmat12".into(),
         cells: vec![fmt_time(t)],
@@ -94,6 +97,7 @@ fn bench_sequential_counting(reps: usize, rows: &mut Vec<Row>) {
     let t = time_per_call(reps, 2, || {
         seq::edge_iterator(black_box(&graph), OrderingKind::Id)
     });
+    report.push_seconds("seq/edge_iterator_id/rmat12", t);
     rows.push(Row {
         label: "seq/edge_iterator_id/rmat12".into(),
         cells: vec![fmt_time(t)],
@@ -101,27 +105,30 @@ fn bench_sequential_counting(reps: usize, rows: &mut Vec<Row>) {
     let t = time_per_call(reps, 2, || {
         seq::compact_forward_compressed(black_box(&compressed))
     });
+    report.push_seconds("seq/compact_forward_compressed/rmat12", t);
     rows.push(Row {
         label: "seq/compact_forward_compressed/rmat12".into(),
         cells: vec![fmt_time(t)],
     });
 }
 
-fn bench_preprocessing(reps: usize, rows: &mut Vec<Row>) {
+fn bench_preprocessing(reps: usize, rows: &mut Vec<Row>, report: &mut BenchReport) {
     let graph = cetric::gen::rhg_default(1 << 12, 3);
     let t = time_per_call(reps, 4, || orient(black_box(&graph), OrderingKind::Degree));
+    report.push_seconds("preprocess/orient_degree", t);
     rows.push(Row {
         label: "preprocess/orient_degree".into(),
         cells: vec![fmt_time(t)],
     });
     let t = time_per_call(reps, 4, || relabel_by_degree(black_box(&graph)));
+    report.push_seconds("preprocess/relabel_by_degree", t);
     rows.push(Row {
         label: "preprocess/relabel_by_degree".into(),
         cells: vec![fmt_time(t)],
     });
 }
 
-fn bench_bloom(reps: usize, rows: &mut Vec<Row>) {
+fn bench_bloom(reps: usize, rows: &mut Vec<Row>, report: &mut BenchReport) {
     let keys: Vec<u64> = (0..256u64).map(|i| i * 7919).collect();
     let t = time_per_call(reps, 16, || {
         let mut f = BloomFilter::new(keys.len(), 8.0);
@@ -130,6 +137,7 @@ fn bench_bloom(reps: usize, rows: &mut Vec<Row>) {
         }
         keys.iter().filter(|&&k| f.contains(k + 1)).count()
     });
+    report.push_seconds("amq/bloom/build+query", t);
     rows.push(Row {
         label: "amq/bloom/build+query".into(),
         cells: vec![fmt_time(t)],
@@ -141,13 +149,14 @@ fn bench_bloom(reps: usize, rows: &mut Vec<Row>) {
         }
         keys.iter().filter(|&&k| f.contains(k + 1)).count()
     });
+    report.push_seconds("amq/single_shot/build+query", t);
     rows.push(Row {
         label: "amq/single_shot/build+query".into(),
         cells: vec![fmt_time(t)],
     });
 }
 
-fn bench_distributed_end_to_end(rows: &mut Vec<Row>) {
+fn bench_distributed_end_to_end(rows: &mut Vec<Row>, report: &mut BenchReport) {
     // wall-clock of the whole simulated pipeline (not the modeled time):
     // useful to track regressions of the simulator itself
     let graph = cetric::gen::rgg2d_default(1 << 11, 5);
@@ -158,28 +167,36 @@ fn bench_distributed_end_to_end(rows: &mut Vec<Row>) {
         let t = time_per_call(3, 1, || {
             cetric::core::count(black_box(&graph), 4, alg).unwrap()
         });
+        let label = format!("dist_e2e/{}_p4/rgg2d_2k", alg.name());
+        report.push_seconds(&label, t);
         rows.push(Row {
-            label: format!("dist_e2e/{}_p4/rgg2d_2k", alg.name()),
+            label,
             cells: vec![fmt_time(t)],
         });
     }
 }
 
 fn main() {
-    let reps = match Scale::from_env() {
+    let scale = Scale::from_env();
+    let reps = match scale {
         Scale::Quick => 3,
         Scale::Default => 7,
         Scale::Full => 15,
     };
     let mut rows = Vec::new();
-    bench_intersections(reps, &mut rows);
-    bench_sequential_counting(reps, &mut rows);
-    bench_preprocessing(reps, &mut rows);
-    bench_bloom(reps, &mut rows);
-    bench_distributed_end_to_end(&mut rows);
+    let mut report = BenchReport::new("kernels", scale);
+    bench_intersections(reps, &mut rows, &mut report);
+    bench_sequential_counting(reps, &mut rows, &mut report);
+    bench_preprocessing(reps, &mut rows, &mut report);
+    bench_bloom(reps, &mut rows, &mut report);
+    bench_distributed_end_to_end(&mut rows, &mut report);
     print_table(
         "kernel micro-benchmarks (median wall time)",
         &["per call"],
         &rows,
     );
+    match report.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_kernels.json: {e}"),
+    }
 }

@@ -54,6 +54,81 @@ impl Scale {
     }
 }
 
+/// Machine-readable benchmark artifacts (`BENCH_<name>.json`), hand-rolled
+/// because the workspace builds without registry access (no serde). Each
+/// harness collects `(label, value)` entries and writes one JSON file next
+/// to the human-readable table, so the perf trajectory can be tracked by
+/// tooling instead of log-scraping.
+pub mod report {
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// Collects benchmark results and serialises them to
+    /// `BENCH_<name>.json`.
+    pub struct BenchReport {
+        name: String,
+        scale: String,
+        entries: Vec<(String, String)>,
+    }
+
+    impl BenchReport {
+        /// A report for harness `name` under the given scale.
+        pub fn new(name: &str, scale: super::Scale) -> BenchReport {
+            BenchReport {
+                name: name.to_string(),
+                scale: format!("{scale:?}").to_lowercase(),
+                entries: Vec::new(),
+            }
+        }
+
+        /// Records a per-call wall time, in seconds.
+        pub fn push_seconds(&mut self, label: &str, seconds: f64) {
+            self.push_raw(label, &format_f64(seconds));
+        }
+
+        /// Records an already-serialised JSON value under `label`.
+        pub fn push_raw(&mut self, label: &str, raw_json: &str) {
+            self.entries.push((label.to_string(), raw_json.to_string()));
+        }
+
+        /// Serialises the report as a JSON object.
+        pub fn to_json(&self) -> String {
+            let mut s = String::with_capacity(256 + 64 * self.entries.len());
+            s.push_str(&format!(
+                "{{\"benchmark\":\"{}\",\"scale\":\"{}\",\"results\":{{",
+                self.name, self.scale
+            ));
+            let parts: Vec<String> = self
+                .entries
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":{v}"))
+                .collect();
+            s.push_str(&parts.join(","));
+            s.push_str("}}");
+            s
+        }
+
+        /// Writes `BENCH_<name>.json` into `TRICOUNT_BENCH_OUT` (or the
+        /// current directory) and returns the path.
+        pub fn write(&self) -> std::io::Result<PathBuf> {
+            let dir = std::env::var("TRICOUNT_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+            let path = PathBuf::from(dir).join(format!("BENCH_{}.json", self.name));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(self.to_json().as_bytes())?;
+            Ok(path)
+        }
+    }
+
+    /// JSON-safe float formatting (NaN/Inf become 0).
+    pub fn format_f64(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "0".to_string()
+        }
+    }
+}
+
 /// One row of a result table.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -128,6 +203,7 @@ pub fn run_cell(g: &Csr, p: usize, alg: Algorithm, model: &CostModel) -> String 
         ),
         Err(e) => match e {
             DistError::OutOfMemory { .. } => "OOM".to_string(),
+            DistError::Deadlock { .. } => "DEADLOCK".to_string(),
         },
     }
 }
@@ -150,6 +226,18 @@ mod tests {
     fn scale_env_parsing() {
         assert_eq!(Scale::Quick.shift(), 0);
         assert!(Scale::Full.pe_counts().contains(&64));
+    }
+
+    #[test]
+    fn report_serialises() {
+        let mut r = report::BenchReport::new("unit_test", Scale::Quick);
+        r.push_seconds("kernel/a", 1.5e-6);
+        r.push_raw("stats", "{\"x\":1}");
+        let j = r.to_json();
+        assert!(j.starts_with("{\"benchmark\":\"unit_test\",\"scale\":\"quick\""));
+        assert!(j.contains("\"kernel/a\":0.0000015"));
+        assert!(j.contains("\"stats\":{\"x\":1}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -84,6 +84,20 @@ pub enum Command {
         /// Input source.
         source: Source,
     },
+    /// Load the graph into a resident query engine and drive a scripted
+    /// mixed workload against it.
+    Serve {
+        /// Input source.
+        source: Source,
+        /// Simulated PEs.
+        p: usize,
+        /// Number of scripted queries to serve.
+        queries: usize,
+        /// Workload RNG seed.
+        seed: u64,
+        /// Print the machine-readable stats snapshot instead of the table.
+        json: bool,
+    },
 }
 
 fn parse_family(s: &str) -> Result<Family, String> {
@@ -177,6 +191,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         || verb == "lcc"
         || verb == "info"
         || verb == "enumerate"
+        || verb == "serve"
     {
         return Err("need an input: --input FILE, --family F, or --dataset D".to_string());
     } else {
@@ -238,15 +253,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             limit: parse_u64("limit", 20)? as usize,
         }),
         "info" => Ok(Command::Info { source }),
+        "serve" => Ok(Command::Serve {
+            source,
+            p,
+            queries: parse_u64("queries", 100)? as usize,
+            seed: parse_u64("workload-seed", 42)?,
+            json: get("json").is_some_and(|v| v == "true" || v == "1"),
+        }),
         v => Err(format!("unknown command {v:?}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: tricount <generate|count|lcc|enumerate|info> \
+    "usage: tricount <generate|count|lcc|enumerate|info|serve> \
      [--input FILE | --family gnm|rgg2d|rhg|rmat | --dataset NAME] \
      [--n N] [--seed S] [--p P] [--alg A] [--model supermuc|cloud] \
-     [--routing direct|grid] [--delta-factor F] [--top K] [--limit K] [-o OUT]"
+     [--routing direct|grid] [--delta-factor F] [--top K] [--limit K] \
+     [--queries Q] [--workload-seed S] [--json 1] [-o OUT]"
         .to_string()
 }
 
@@ -367,6 +390,65 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 }
             }
         }
+        Command::Serve {
+            source,
+            p,
+            queries,
+            seed,
+            json,
+        } => {
+            use tricount_engine::{scripted_workload, Engine, EngineConfig};
+            let g = load_source(&source)?;
+            let mut engine = Engine::build(&g, EngineConfig::new(p));
+            let workload = scripted_workload(queries, g.num_vertices(), seed);
+            let mut answered = 0usize;
+            let mut failed = 0usize;
+            for q in workload {
+                loop {
+                    match engine.submit(q.clone()) {
+                        Ok(_) => break,
+                        // closed loop: drain under backpressure, resubmit
+                        Err(_) => {
+                            for (_, a) in engine.tick() {
+                                answered += 1;
+                                failed += usize::from(a.is_err());
+                            }
+                        }
+                    }
+                }
+            }
+            while engine.queue_depth() > 0 {
+                for (_, a) in engine.tick() {
+                    answered += 1;
+                    failed += usize::from(a.is_err());
+                }
+            }
+            let s = engine.stats();
+            if json {
+                println!("{}", s.to_json());
+            } else {
+                println!(
+                    "served {answered} queries on {p} PEs ({failed} failed, {} batches)",
+                    s.batches
+                );
+                println!(
+                    "cache: {} hits / {} misses ({:.1}% hit rate, {} resident entries)",
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_hit_rate() * 100.0,
+                    s.cache_entries
+                );
+                println!(
+                    "setup ran {} time(s); queries moved {} msgs / {} words",
+                    s.setup_runs, s.query_comm.sent_messages, s.query_comm.sent_words
+                );
+                println!(
+                    "modeled query time {:.3} ms | wall {:.3} ms",
+                    s.modeled_seconds_total * 1e3,
+                    s.wall_seconds_total * 1e3
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -461,6 +543,27 @@ mod tests {
     #[test]
     fn execute_count_on_generated_graph() {
         let cmd = parse(&args("count --family rgg2d --n 512 --p 4 --alg cetric")).unwrap();
+        execute(cmd).unwrap();
+    }
+
+    #[test]
+    fn parse_and_execute_serve() {
+        let cmd = parse(&args("serve --family rgg2d --n 256 --p 3 --queries 40")).unwrap();
+        match &cmd {
+            Command::Serve {
+                p, queries, json, ..
+            } => {
+                assert_eq!(*p, 3);
+                assert_eq!(*queries, 40);
+                assert!(!json);
+            }
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+        let cmd = parse(&args(
+            "serve --family gnm --n 128 --p 2 --queries 10 --json 1",
+        ))
+        .unwrap();
         execute(cmd).unwrap();
     }
 

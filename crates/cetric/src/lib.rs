@@ -22,6 +22,9 @@
 //! * [`core`] — the algorithms: sequential COMPACT-FORWARD, DITRIC(²),
 //!   CETRIC(²), TriC-like and HavoqGT-like baselines, distributed LCC, and
 //!   AMQ-approximate counting.
+//! * [`engine`] — the resident query engine: load a graph once, then serve
+//!   batched triangle / LCC / edge-support / approximate queries against the
+//!   prepared per-rank state with an epoch-keyed result cache.
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@ pub mod cli;
 pub use tricount_amq as amq;
 pub use tricount_comm as comm;
 pub use tricount_core as core;
+pub use tricount_engine as engine;
 pub use tricount_gen as gen;
 pub use tricount_graph as graph;
 pub use tricount_par as par;
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use tricount_core::{
         count, count_with, Aggregation, Algorithm, CountResult, DistConfig, DistError,
     };
+    pub use tricount_engine::{Engine, EngineConfig, EngineError, Query, QueryAnswer};
     pub use tricount_gen::{Dataset, Family};
     pub use tricount_graph::{Csr, DistGraph, EdgeList, OrderingKind, Partition, VertexId};
 }

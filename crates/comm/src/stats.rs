@@ -63,6 +63,24 @@ impl Counters {
         }
     }
 
+    /// Accumulates `other` into `self`: flow counters add, peak/peer/clock
+    /// counters take the max. This is the snapshot-folding rule used by
+    /// long-lived consumers (the query engine) that aggregate many runs'
+    /// statistics into one running [`Counters`] record.
+    pub fn absorb(&mut self, other: &Counters) {
+        self.sent_messages += other.sent_messages;
+        self.sent_words += other.sent_words;
+        self.recv_messages += other.recv_messages;
+        self.recv_words += other.recv_words;
+        self.work_ops += other.work_ops;
+        self.coll_alpha_units += other.coll_alpha_units;
+        self.coll_word_units += other.coll_word_units;
+        self.peak_buffered_words = self.peak_buffered_words.max(other.peak_buffered_words);
+        self.sent_peers = self.sent_peers.max(other.sent_peers);
+        self.recv_peers = self.recv_peers.max(other.recv_peers);
+        self.sim_clock = self.sim_clock.max(other.sim_clock);
+    }
+
     /// Modeled execution time of this PE under `cost`, using the
     /// single-ported full-duplex rule: latency and bandwidth are charged on
     /// the max of the send and receive directions.
@@ -229,6 +247,34 @@ impl RunStats {
             .max()
             .unwrap_or(0)
     }
+
+    /// One whole-run [`Counters`] snapshot: flow counters summed over all
+    /// phases and ranks, peaks/peers/clock as run-wide maxima. The compact
+    /// record long-lived consumers fold across runs via
+    /// [`Counters::absorb`].
+    pub fn totals(&self) -> Counters {
+        let mut acc = Counters::default();
+        for ph in &self.phases {
+            for c in &ph.per_rank {
+                acc.absorb(c);
+            }
+        }
+        acc
+    }
+
+    /// Like [`RunStats::totals`] but restricted to phases named `name`
+    /// (zeroed counters if the phase never ran). Lets callers prove phase-
+    /// level properties, e.g. that a resident engine's queries spend no
+    /// communication in "preprocessing".
+    pub fn phase_totals(&self, name: &str) -> Counters {
+        let mut acc = Counters::default();
+        for ph in self.phases.iter().filter(|ph| ph.name == name) {
+            for c in &ph.per_rank {
+                acc.absorb(c);
+            }
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +352,36 @@ mod tests {
         assert_eq!(d.sent_messages, 3);
         assert_eq!(d.sent_words, 15);
         assert_eq!(d.peak_buffered_words, 9);
+    }
+
+    #[test]
+    fn totals_fold_flows_and_peaks() {
+        let mut a = c(1, 10, 2, 20, 5);
+        a.peak_buffered_words = 7;
+        let mut b = c(3, 30, 4, 40, 6);
+        b.peak_buffered_words = 4;
+        let stats = RunStats {
+            p: 2,
+            phases: vec![
+                PhaseStats {
+                    name: "x".into(),
+                    per_rank: vec![a, b],
+                },
+                PhaseStats {
+                    name: "y".into(),
+                    per_rank: vec![c(0, 0, 0, 0, 1), c(0, 0, 0, 0, 2)],
+                },
+            ],
+        };
+        let t = stats.totals();
+        assert_eq!(t.sent_messages, 4);
+        assert_eq!(t.sent_words, 40);
+        assert_eq!(t.recv_words, 60);
+        assert_eq!(t.work_ops, 14);
+        assert_eq!(t.peak_buffered_words, 7);
+        let px = stats.phase_totals("x");
+        assert_eq!(px.work_ops, 11);
+        assert_eq!(stats.phase_totals("missing"), Counters::default());
     }
 
     #[test]

@@ -13,7 +13,8 @@ use tricount_graph::dist::{DistGraph, LocalGraph};
 use tricount_graph::intersect::merge_count;
 
 use crate::config::DistConfig;
-use crate::dist::{into_cells, preprocess};
+use crate::dist::into_cells;
+use crate::dist::residency::{prepare_rank, PreparedRank};
 use crate::result::ApproxResult;
 
 /// Which AMQ to ship in the global phase.
@@ -46,21 +47,39 @@ impl Default for ApproxConfig {
 const TAG_BLOOM: u64 = 0;
 const TAG_SINGLE_SHOT: u64 = 1;
 
-struct RankOutput {
-    exact_local: u64,
-    type3_raw: u64,
-    type3_corrected: f64,
+/// One rank's contribution to the approximate count, aggregated by
+/// [`approx_on`] (or by the query engine serving an `ApproxTriangles`
+/// query against resident state).
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxRankOutput {
+    /// Exactly counted type-1/2 triangles on this rank.
+    pub exact_local: u64,
+    /// Raw positive AMQ queries (overestimate) on this rank.
+    pub type3_raw: u64,
+    /// This rank's truthful (false-positive corrected) type-3 contribution.
+    pub type3_corrected: f64,
 }
 
 fn run_rank(
     ctx: &mut Ctx,
-    mut lg: LocalGraph,
+    lg: LocalGraph,
     cfg: &DistConfig,
     acfg: &ApproxConfig,
-) -> RankOutput {
-    preprocess(ctx, &mut lg, cfg);
-    let o = lg.orient(cfg.ordering, true);
-    ctx.end_phase("preprocessing");
+) -> ApproxRankOutput {
+    let prep = prepare_rank(ctx, lg, cfg);
+    approx_prepared(ctx, &prep, cfg, acfg)
+}
+
+/// The approximate counting phases on already prepared per-rank state:
+/// exact local phase plus the sketched global phase. No setup communication
+/// happens here.
+pub fn approx_prepared(
+    ctx: &mut Ctx,
+    prep: &PreparedRank,
+    cfg: &DistConfig,
+    acfg: &ApproxConfig,
+) -> ApproxRankOutput {
+    let o = &prep.oriented;
 
     // exact local phase (identical to CETRIC's)
     let mut exact_local = 0u64;
@@ -81,13 +100,13 @@ fn run_rank(
             ctx.add_work(ops + 1);
         }
     }
-    let contracted = o.contracted();
+    let contracted = &prep.contracted;
     ctx.end_phase("local");
 
     // approximate global phase: per destination PE j, send the heads
     // A(v) ∩ V_j explicitly plus a sketch of the full contracted A(v):
     // payload = [tag, v, |heads|, heads..., filter words...]
-    let delta = cfg.resolve_delta(lg.num_local_entries());
+    let delta = cfg.resolve_delta(prep.local.num_local_entries());
     let mut q = MessageQueue::new(
         ctx,
         QueueConfig {
@@ -97,12 +116,17 @@ fn run_rank(
     );
     let part = o.partition().clone();
     let mut raw = 0u64;
-    let mut corrected = 0.0f64;
+    // Per-intersection corrections are collected (not summed on arrival)
+    // and reduced in a canonical order below: f64 addition is not
+    // associative, and message arrival order depends on the schedule — the
+    // deferred sorted sum keeps the estimate bit-identical across
+    // schedules (the property `check_schedule_independence` asserts).
+    let mut corrected = Vec::<f64>::new();
     let handler = |contracted: &tricount_graph::dist::ContractedGraph,
                    ctx: &mut Ctx,
                    env: Envelope<'_>,
                    raw: &mut u64,
-                   corrected: &mut f64| {
+                   corrected: &mut Vec<f64>| {
         let tag = env.payload[0];
         let nheads = env.payload[2] as usize;
         let heads = &env.payload[3..3 + nheads];
@@ -130,7 +154,7 @@ fn run_rank(
                 }
             }
             *raw += pos;
-            *corrected += truthful_estimate_unclamped(pos, au.len() as u64, fpr);
+            corrected.push(truthful_estimate_unclamped(pos, au.len() as u64, fpr));
         }
     };
 
@@ -173,20 +197,21 @@ fn run_rank(
             scratch.extend_from_slice(&filter_words);
             q.post(ctx, j, &scratch);
             while q.poll(ctx, &mut |ctx, env| {
-                handler(&contracted, ctx, env, &mut raw, &mut corrected)
+                handler(contracted, ctx, env, &mut raw, &mut corrected)
             }) {}
             i = k;
         }
     }
     q.finish(ctx, &mut |ctx, env| {
-        handler(&contracted, ctx, env, &mut raw, &mut corrected)
+        handler(contracted, ctx, env, &mut raw, &mut corrected)
     });
     ctx.end_phase("global");
 
-    RankOutput {
+    corrected.sort_by(f64::total_cmp);
+    ApproxRankOutput {
         exact_local,
         type3_raw: raw,
-        type3_corrected: corrected,
+        type3_corrected: corrected.iter().sum(),
     }
 }
 

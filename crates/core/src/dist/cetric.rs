@@ -9,22 +9,31 @@
 //! * **Global phase** — DITRIC's sparse all-to-all over the *contracted*
 //!   neighborhoods, making the communication volume proportional to the cut
 //!   instead of the full input.
+//!
+//! The setup (ghost exchange + orientation + contraction) is factored into
+//! [`crate::dist::residency::prepare_rank`] so the one-shot path here and
+//! the resident query engine share it; [`count_prepared`] is the pure
+//! counting part, reusable against long-lived [`PreparedRank`] state.
 
 use tricount_comm::{Ctx, Envelope, MessageQueue, QueueConfig};
 use tricount_graph::dist::{ContractedGraph, LocalGraph};
 use tricount_graph::intersect::merge_count;
 
 use crate::config::DistConfig;
-use crate::dist::preprocess;
+use crate::dist::residency::{prepare_rank, PreparedRank};
 
 /// Runs CETRIC on this rank; returns the global triangle count.
-pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
-    preprocess(ctx, &mut lg, cfg);
-    // Expanded local graph: ghosts get their locally visible oriented
-    // neighborhoods (no communication — §IV-D "rewiring incoming cut
-    // edges").
-    let o = lg.orient(cfg.ordering, true);
-    ctx.end_phase("preprocessing");
+pub fn run_rank(ctx: &mut Ctx, lg: LocalGraph, cfg: &DistConfig) -> u64 {
+    let prep = prepare_rank(ctx, lg, cfg);
+    count_prepared(ctx, &prep, cfg)
+}
+
+/// CETRIC's counting phases on already prepared per-rank state (local phase
+/// on the expanded graph, global phase on the contracted cut graph, final
+/// all-reduce). No setup communication happens here — the resident engine
+/// calls this directly against state kept alive across queries.
+pub fn count_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> u64 {
+    let o = &prep.oriented;
 
     // Local phase (Algorithm 3 lines 5–7): every v ∈ V_i ∪ ∂V_i, every
     // u ∈ A(v); both neighborhoods are locally available by construction.
@@ -47,12 +56,11 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
             ctx.add_work(ops + 1);
         }
     }
-    // Contraction (line 8): keep only oriented cut edges.
-    let contracted = o.contracted();
+    let contracted = &prep.contracted;
     ctx.end_phase("local");
 
     // Global phase (lines 9–16) on the contracted graph.
-    let delta = cfg.resolve_delta(lg.num_local_entries());
+    let delta = cfg.resolve_delta(prep.local.num_local_entries());
     let mut q = MessageQueue::new(
         ctx,
         QueueConfig {
@@ -98,12 +106,12 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
             scratch.extend_from_slice(a);
             q.post(ctx, j, &scratch);
             while q.poll(ctx, &mut |ctx, env| {
-                handler(&contracted, &owned, ctx, env, &mut remote_count)
+                handler(contracted, &owned, ctx, env, &mut remote_count)
             }) {}
         }
     }
     q.finish(ctx, &mut |ctx, env| {
-        handler(&contracted, &owned, ctx, env, &mut remote_count)
+        handler(contracted, &owned, ctx, env, &mut remote_count)
     });
 
     let total = ctx.allreduce_sum(&[local_count + remote_count])[0];

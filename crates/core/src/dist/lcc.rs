@@ -5,6 +5,11 @@
 //! found, all three corners' `Δ`-counters are incremented. Counters of ghost
 //! vertices accumulate locally and are aggregated to their owners in a
 //! postprocessing all-to-all "analogous to the initial degree exchange".
+//!
+//! Like the plain count, the pipeline is split into the shared setup
+//! ([`crate::dist::residency::prepare_rank`]) and the counting part
+//! ([`lcc_prepared`]), so the resident query engine can serve LCC queries
+//! from state prepared once.
 
 use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
 use tricount_graph::dist::{DistGraph, LocalGraph};
@@ -12,7 +17,8 @@ use tricount_graph::intersect::merge_collect;
 use tricount_graph::VertexId;
 
 use crate::config::DistConfig;
-use crate::dist::{into_cells, preprocess};
+use crate::dist::into_cells;
+use crate::dist::residency::{prepare_rank, PreparedRank};
 use crate::result::LccResult;
 
 /// Per-rank Δ accumulator over owned and ghost vertices.
@@ -39,11 +45,17 @@ impl DeltaAcc {
 
 /// Runs the CETRIC-based per-vertex count on this rank. Returns this PE's
 /// owned `Δ` values.
-fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<u64> {
-    preprocess(ctx, &mut lg, cfg);
-    let o = lg.orient(cfg.ordering, true);
-    ctx.end_phase("preprocessing");
+fn run_rank(ctx: &mut Ctx, lg: LocalGraph, cfg: &DistConfig) -> Vec<u64> {
+    let prep = prepare_rank(ctx, lg, cfg);
+    lcc_prepared(ctx, &prep, cfg)
+}
 
+/// The per-vertex counting phases on already prepared per-rank state:
+/// local and global triangle enumeration bumping all three corners, then
+/// the ghost-Δ aggregation postprocessing. Returns this PE's owned `Δ`
+/// values; no setup communication happens here.
+pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec<u64> {
+    let o = &prep.oriented;
     let owned_range = o.owned_range();
     let mut acc = DeltaAcc {
         start: owned_range.start,
@@ -74,12 +86,12 @@ fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<u64> {
             }
         }
     }
-    let contracted = o.contracted();
+    let contracted = &prep.contracted;
     ctx.end_phase("local");
 
     // Global phase: type-3 triangles, again bumping all three corners
     // (v and w are ghosts of the receiving PE).
-    let delta = cfg.resolve_delta(lg.num_local_entries());
+    let delta = cfg.resolve_delta(prep.local.num_local_entries());
     let mut q = MessageQueue::new(
         ctx,
         QueueConfig {
@@ -124,12 +136,12 @@ fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<u64> {
             scratch.extend_from_slice(a);
             q.post(ctx, j, &scratch);
             while q.poll(ctx, &mut |ctx, env| {
-                handler(&mut acc, &contracted, &owned_range, ctx, env, &mut commons2)
+                handler(&mut acc, contracted, &owned_range, ctx, env, &mut commons2)
             }) {}
         }
     }
     q.finish(ctx, &mut |ctx, env| {
-        handler(&mut acc, &contracted, &owned_range, ctx, env, &mut commons2)
+        handler(&mut acc, contracted, &owned_range, ctx, env, &mut commons2)
     });
     ctx.end_phase("global");
 
@@ -155,6 +167,24 @@ fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<u64> {
     acc.owned
 }
 
+/// Normalises per-vertex `Δ` counts into clustering coefficients
+/// `LCC(v) = Δ(v) / (d_v (d_v − 1) / 2)` under the global degree vector —
+/// the exact expression the sequential reference uses, so distributed and
+/// sequential answers bit-match.
+pub fn normalize_lcc(per_vertex: &[u64], degrees: &[u64]) -> Vec<f64> {
+    per_vertex
+        .iter()
+        .zip(degrees)
+        .map(|(&d3, &deg)| {
+            if deg < 2 {
+                0.0
+            } else {
+                d3 as f64 / (deg * (deg - 1) / 2) as f64
+            }
+        })
+        .collect()
+}
+
 /// Runs the distributed per-vertex count / LCC computation on a partitioned
 /// graph. `degrees` must be the global degree vector (used only for the
 /// final LCC normalisation).
@@ -175,17 +205,7 @@ pub fn lcc_on(dg: DistGraph, cfg: &DistConfig, degrees: &[u64]) -> LccResult {
     }
     assert_eq!(per_vertex.len(), degrees.len());
     let triangles = per_vertex.iter().sum::<u64>() / 3;
-    let lcc = per_vertex
-        .iter()
-        .zip(degrees)
-        .map(|(&d3, &deg)| {
-            if deg < 2 {
-                0.0
-            } else {
-                d3 as f64 / (deg * (deg - 1) / 2) as f64
-            }
-        })
-        .collect();
+    let lcc = normalize_lcc(&per_vertex, degrees);
     LccResult {
         triangles,
         per_vertex,

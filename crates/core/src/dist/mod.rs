@@ -10,13 +10,15 @@ pub mod hybrid;
 pub mod lcc;
 pub mod matrix2d;
 pub mod rebalance;
+pub mod residency;
+pub mod support;
 
 #[cfg(test)]
 mod tests;
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use tricount_comm::{run_sim, Ctx, MessageQueue, QueueConfig, SimOptions, Trace};
+use tricount_comm::{run_guarded, run_sim, Ctx, MessageQueue, QueueConfig, SimOptions, Trace};
 use tricount_graph::dist::{DistGraph, LocalGraph};
 use tricount_graph::OrderingKind;
 
@@ -177,6 +179,45 @@ pub fn run_on_sim(
         },
         sim.trace,
     ))
+}
+
+/// Like [`run_on_sim`], but under the deadlock watchdog
+/// ([`tricount_comm::run_guarded`]): if no PE makes progress for `timeout`,
+/// the run is abandoned and the watchdog's wait-for-graph diagnosis comes
+/// back as [`DistError::Deadlock`] instead of the process hanging. This is
+/// the execution path of the resident query engine, where a wedged query
+/// must surface as a failed request rather than take the server down.
+pub fn run_on_guarded(
+    dg: DistGraph,
+    alg: Algorithm,
+    cfg: &DistConfig,
+    opts: &SimOptions,
+    timeout: std::time::Duration,
+) -> Result<CountResult, DistError> {
+    let p = dg.num_ranks();
+    let cells = Arc::new(into_cells(dg));
+    let cfg = *cfg;
+    let body = move |ctx: &mut Ctx| {
+        let lg = cells[ctx.rank()]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("local graph already taken");
+        match alg {
+            Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => {
+                Ok(ditric::run_rank(ctx, lg, &cfg))
+            }
+            Algorithm::Cetric | Algorithm::Cetric2 => Ok(cetric::run_rank(ctx, lg, &cfg)),
+            Algorithm::TricLike => baselines::tric_like_rank(ctx, lg, &cfg),
+            Algorithm::HavoqgtLike => Ok(baselines::havoqgt_like_rank(ctx, lg, &cfg)),
+        }
+    };
+    let out = run_guarded(p, opts, timeout, body)?;
+    let triangles = out.output.results.into_iter().next().unwrap()?;
+    Ok(CountResult {
+        triangles,
+        stats: out.output.stats,
+    })
 }
 
 fn run_on_impl(

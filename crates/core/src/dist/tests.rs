@@ -139,6 +139,7 @@ fn tric_like_oom_reproduction() {
         } => {
             assert!(needed_words > limit_words);
         }
+        other => panic!("expected OutOfMemory, got {other}"),
     }
     let ok = count(&g, 8, Algorithm::Ditric).unwrap();
     assert_eq!(ok.triangles, seq::compact_forward(&g).triangles);

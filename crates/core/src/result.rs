@@ -1,6 +1,6 @@
 //! Result and error types of the distributed runs.
 
-use tricount_comm::{CostModel, RunStats};
+use tricount_comm::{CostModel, DeadlockReport, RunStats};
 
 /// Errors a distributed run can report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,6 +13,30 @@ pub enum DistError {
         /// The configured limit.
         limit_words: u64,
     },
+    /// The deadlock watchdog diagnosed a stalled run
+    /// ([`tricount_comm::run_guarded`]): no PE made progress for the guard
+    /// timeout. Instead of hanging, the run is abandoned and the watchdog's
+    /// per-PE state dump plus wait-for graph are carried here.
+    Deadlock {
+        /// Rendered [`DeadlockReport`]: per-PE op/buffer/delivery state and
+        /// the wait-for edges.
+        report: String,
+    },
+}
+
+impl DistError {
+    /// Wraps a watchdog diagnosis as a [`DistError::Deadlock`].
+    pub fn from_deadlock(report: &DeadlockReport) -> DistError {
+        DistError::Deadlock {
+            report: report.to_string(),
+        }
+    }
+}
+
+impl From<Box<DeadlockReport>> for DistError {
+    fn from(report: Box<DeadlockReport>) -> Self {
+        DistError::from_deadlock(&report)
+    }
 }
 
 impl std::fmt::Display for DistError {
@@ -25,6 +49,7 @@ impl std::fmt::Display for DistError {
                 f,
                 "out of memory: needs {needed_words} buffered words, limit {limit_words}"
             ),
+            DistError::Deadlock { report } => write!(f, "{report}"),
         }
     }
 }
@@ -73,4 +98,19 @@ pub struct ApproxResult {
     pub estimate: f64,
     /// Execution statistics.
     pub stats: RunStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_variant_renders_report() {
+        let e = DistError::Deadlock {
+            report: "deadlock: no progress for 1s on 2 PEs\n  wait-for: 1→0\n".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("wait-for"));
+    }
 }

@@ -1,0 +1,536 @@
+//! A resident query engine over a partitioned graph.
+//!
+//! The one-shot drivers in `tricount-core` pay the full CETRIC setup —
+//! partitioning, ghost degree exchange, degree orientation with ghost
+//! expansion, cut-graph contraction — on every call and throw it away. An
+//! [`Engine`] performs that setup **exactly once** at [`Engine::build`] and
+//! keeps the per-rank state ([`PreparedRank`]) alive, serving a typed query
+//! API against it:
+//!
+//! * [`Query::GlobalTriangles`] — exact count under any algorithm variant,
+//! * [`Query::VertexLcc`] — local clustering coefficients of chosen vertices,
+//! * [`Query::EdgeSupport`] — per-edge triangle counts,
+//! * [`Query::ApproxTriangles`] — AMQ-sketched count for a target error.
+//!
+//! Requests pass a bounded admission queue ([`Engine::submit`] rejects with
+//! [`EngineError::Overloaded`] beyond the configured depth) and execute in
+//! batches per [`Engine::tick`]: queries normalising to the same
+//! [`QueryKey`](crate::query) share one distributed run (every `VertexLcc`
+//! query rides the same full-vector computation), distinct keys run
+//! concurrently on a `tricount-par` work-stealing pool, and results land in
+//! an **epoch-keyed cache** — [`Engine::advance_epoch`] invalidates
+//! everything at once when the graph is declared stale. Each distributed
+//! run executes under the deadlock watchdog (`tricount_comm::run_guarded`),
+//! so a wedged query surfaces as [`EngineError::Dist`] carrying the
+//! wait-for-graph report instead of taking the server down.
+
+#![warn(missing_docs)]
+
+mod query;
+mod stats;
+pub mod workload;
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tricount_comm::{run_guarded, CostModel, Counters, Ctx, RunStats, SimOptions};
+use tricount_core::config::{Algorithm, DistConfig};
+use tricount_core::dist::approx::{approx_prepared, ApproxConfig, FilterKind};
+use tricount_core::dist::residency::{build_residency, PreparedRank};
+use tricount_core::dist::support::edge_support_rank;
+use tricount_core::dist::{baselines, cetric, ditric, lcc};
+use tricount_core::result::DistError;
+use tricount_graph::dist::DistGraph;
+use tricount_graph::{Csr, VertexId};
+use tricount_par::Pool;
+
+pub use query::{EngineError, Query, QueryAnswer, TicketId};
+pub use stats::{EngineStats, QueryRecord};
+pub use workload::scripted_workload;
+
+use query::{algorithm_index, bits_for_rel_error, CachedValue, QueryKey};
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of PEs to partition the graph over.
+    pub num_ranks: usize,
+    /// Distributed configuration used for the resident setup and for LCC /
+    /// approximate runs (global-count queries use their own variant's
+    /// configuration).
+    pub dist: DistConfig,
+    /// Admission bound: [`Engine::submit`] rejects once this many queries
+    /// wait in the queue.
+    pub queue_capacity: usize,
+    /// Maximum queries drained per [`Engine::tick`].
+    pub batch_max: usize,
+    /// Workers of the intra-engine pool executing distinct cache keys
+    /// concurrently.
+    pub workers: usize,
+    /// Deadlock-watchdog timeout for every distributed query run.
+    pub watchdog: Duration,
+    /// Cost model for the modeled-latency metrics (also enables the
+    /// overlap-aware simulated clock in the runs).
+    pub timing: Option<CostModel>,
+    /// Perturb message delivery / thread interleaving of query runs under
+    /// this seed (`None` = natural schedule). Answers are schedule
+    /// independent; the determinism tests exercise exactly this knob.
+    pub perturb_seed: Option<u64>,
+}
+
+impl EngineConfig {
+    /// A sensible default configuration over `num_ranks` PEs.
+    pub fn new(num_ranks: usize) -> Self {
+        EngineConfig {
+            num_ranks,
+            dist: Algorithm::Cetric.config(),
+            queue_capacity: 256,
+            batch_max: 32,
+            workers: 4,
+            watchdog: Duration::from_secs(30),
+            timing: Some(CostModel::supermuc()),
+            perturb_seed: None,
+        }
+    }
+}
+
+/// A query waiting in the admission queue.
+#[derive(Debug, Clone)]
+struct Ticket {
+    id: TicketId,
+    query: Query,
+}
+
+/// Mutable serving counters (the raw material of [`EngineStats`]).
+#[derive(Debug, Default)]
+struct Metrics {
+    submitted: u64,
+    rejected: u64,
+    answered: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    batches: u64,
+    query_comm: Counters,
+    query_preprocessing_comm: Counters,
+    modeled_seconds_total: f64,
+    wall_seconds_total: f64,
+    per_query: Vec<QueryRecord>,
+}
+
+/// A long-lived engine serving queries against a graph loaded once.
+pub struct Engine {
+    cfg: EngineConfig,
+    ranks: Arc<Vec<PreparedRank>>,
+    degrees: Arc<Vec<u64>>,
+    num_vertices: u64,
+    epoch: u64,
+    next_ticket: u64,
+    pending: VecDeque<Ticket>,
+    cache: BTreeMap<(u64, QueryKey), CachedValue>,
+    pool: Pool,
+    setup_stats: RunStats,
+    metrics: Metrics,
+}
+
+impl Engine {
+    /// Loads `g` into the engine: partitions it over `cfg.num_ranks` PEs
+    /// (vertex balanced) and performs the whole distributed setup exactly
+    /// once. Everything queries need afterwards is resident.
+    pub fn build(g: &Csr, cfg: EngineConfig) -> Engine {
+        assert!(cfg.num_ranks >= 1, "need at least one PE");
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be positive");
+        assert!(cfg.batch_max >= 1, "batch size must be positive");
+        let degrees = g.degrees();
+        let dg = DistGraph::new_balanced_vertices(g, cfg.num_ranks);
+        let opts = SimOptions {
+            timing: cfg.timing,
+            record_trace: false,
+            perturb_seed: None,
+        };
+        let (ranks, setup_stats) = build_residency(dg, &cfg.dist, &opts);
+        let pool = Pool::new(cfg.workers.max(1));
+        Engine {
+            cfg,
+            ranks: Arc::new(ranks),
+            degrees: Arc::new(degrees),
+            num_vertices: g.num_vertices(),
+            epoch: 0,
+            next_ticket: 0,
+            pending: VecDeque::new(),
+            cache: BTreeMap::new(),
+            pool,
+            setup_stats,
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Number of vertices in the resident graph.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Queries currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Statistics of the one-time setup run.
+    pub fn setup_stats(&self) -> &RunStats {
+        &self.setup_stats
+    }
+
+    /// Enqueues a query. Rejects with [`EngineError::Overloaded`] when the
+    /// queue is at `queue_capacity` — admission control, so a burst beyond
+    /// the configured depth degrades into explicit backpressure instead of
+    /// unbounded memory growth.
+    pub fn submit(&mut self, query: Query) -> Result<TicketId, EngineError> {
+        if self.pending.len() >= self.cfg.queue_capacity {
+            self.metrics.rejected += 1;
+            return Err(EngineError::Overloaded {
+                depth: self.pending.len(),
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let id = TicketId(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push_back(Ticket { id, query });
+        self.metrics.submitted += 1;
+        Ok(id)
+    }
+
+    /// Drains up to `batch_max` queued queries, executes the batch, and
+    /// returns `(ticket, answer)` pairs in submission order.
+    ///
+    /// Within a batch, queries normalising to the same cache key share one
+    /// distributed run; distinct keys execute concurrently on the engine's
+    /// work-stealing pool. Freshly computed values enter the epoch-keyed
+    /// cache, so an identical later query is a cache hit.
+    pub fn tick(&mut self) -> Vec<(TicketId, Result<QueryAnswer, EngineError>)> {
+        let n = self.pending.len().min(self.cfg.batch_max);
+        if n == 0 {
+            return Vec::new();
+        }
+        self.metrics.batches += 1;
+        let batch: Vec<Ticket> = self.pending.drain(..n).collect();
+
+        // Normalise to cache keys; invalid queries fail without executing.
+        let mut keyed: Vec<(Ticket, Result<QueryKey, EngineError>)> = batch
+            .into_iter()
+            .map(|t| {
+                let key = self.key_of(&t.query);
+                (t, key)
+            })
+            .collect();
+
+        // The batch's distinct, uncached keys — each computed exactly once.
+        let mut jobs: Vec<QueryKey> = Vec::new();
+        for (_, key) in &keyed {
+            if let Ok(k) = key {
+                let cached = self.cache.contains_key(&(self.epoch, k.clone()));
+                if !cached && !jobs.contains(k) {
+                    jobs.push(k.clone());
+                }
+            }
+        }
+
+        // Concurrent execution of distinct keys (scoped threads; the
+        // closure only borrows the resident state).
+        let computed: Vec<Result<(CachedValue, RunStats, f64), EngineError>> = self
+            .pool
+            .run_tasks(jobs.clone(), |_, key| self.compute(&key))
+            .into_iter()
+            .map(|tr| tr.result)
+            .collect();
+
+        // Fold results into cache and metrics.
+        let cost = self.cfg.timing.unwrap_or_default();
+        let mut failures: BTreeMap<QueryKey, EngineError> = BTreeMap::new();
+        let mut run_costs: BTreeMap<QueryKey, (f64, f64)> = BTreeMap::new();
+        for (key, outcome) in jobs.into_iter().zip(computed) {
+            match outcome {
+                Ok((value, stats, wall)) => {
+                    let modeled = stats.modeled_time(&cost);
+                    self.metrics.query_comm.absorb(&stats.totals());
+                    self.metrics
+                        .query_preprocessing_comm
+                        .absorb(&stats.phase_totals("preprocessing"));
+                    self.metrics.modeled_seconds_total += modeled;
+                    self.metrics.wall_seconds_total += wall;
+                    run_costs.insert(key.clone(), (modeled, wall));
+                    self.cache.insert((self.epoch, key), value);
+                }
+                Err(e) => {
+                    failures.insert(key, e);
+                }
+            }
+        }
+
+        // Answer every ticket from the (now warm) cache. The first ticket
+        // that triggered a key's run carries its cost and counts as the
+        // miss; everything else in the batch shared the work (or the
+        // cache) and counts as a hit.
+        let mut out = Vec::with_capacity(keyed.len());
+        for (ticket, key) in keyed.drain(..) {
+            let kind = ticket.query.kind();
+            let mut hit = false;
+            let mut modeled = 0.0;
+            let mut wall = 0.0;
+            let answer = match key {
+                Err(e) => Err(e),
+                Ok(k) => {
+                    if let Some(e) = failures.get(&k) {
+                        Err(e.clone())
+                    } else {
+                        match run_costs.remove(&k) {
+                            Some((m, w)) => {
+                                modeled = m;
+                                wall = w;
+                            }
+                            None => hit = true,
+                        }
+                        let value = self
+                            .cache
+                            .get(&(self.epoch, k))
+                            .expect("computed or cached above");
+                        Ok(project(&ticket.query, value))
+                    }
+                }
+            };
+            self.metrics.answered += 1;
+            if answer.is_ok() {
+                if hit {
+                    self.metrics.cache_hits += 1;
+                } else {
+                    self.metrics.cache_misses += 1;
+                }
+            }
+            self.metrics.per_query.push(QueryRecord {
+                kind,
+                cache_hit: hit,
+                modeled_seconds: modeled,
+                wall_seconds: wall,
+                failed: answer.is_err(),
+            });
+            out.push((ticket.id, answer));
+        }
+        out
+    }
+
+    /// Submits a single query and ticks until it is answered — the
+    /// synchronous convenience path. Queued queries ahead of it are
+    /// answered along the way (their results are dropped here; use
+    /// [`submit`](Engine::submit)/[`tick`](Engine::tick) to collect them).
+    pub fn query(&mut self, query: Query) -> Result<QueryAnswer, EngineError> {
+        let id = self.submit(query)?;
+        loop {
+            let answers = self.tick();
+            if let Some((_, a)) = answers.into_iter().find(|(tid, _)| *tid == id) {
+                return a;
+            }
+        }
+    }
+
+    /// Declares the resident graph stale: bumps the epoch, which atomically
+    /// invalidates every cached result (entries are keyed by epoch; old
+    /// epochs are dropped). The resident topology itself is unchanged —
+    /// this models upstream recomputation triggers, and is the hook a
+    /// future incremental-update path would extend.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.cache.retain(|(e, _), _| *e == epoch);
+    }
+
+    /// Snapshots aggregate and per-query serving statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            num_ranks: self.cfg.num_ranks,
+            epoch: self.epoch,
+            submitted: self.metrics.submitted,
+            rejected: self.metrics.rejected,
+            answered: self.metrics.answered,
+            cache_hits: self.metrics.cache_hits,
+            cache_misses: self.metrics.cache_misses,
+            batches: self.metrics.batches,
+            queue_depth: self.pending.len(),
+            cache_entries: self.cache.len(),
+            setup_runs: 1,
+            setup_comm: self.setup_stats.totals(),
+            query_comm: self.metrics.query_comm,
+            query_preprocessing_comm: self.metrics.query_preprocessing_comm,
+            modeled_seconds_total: self.metrics.modeled_seconds_total,
+            wall_seconds_total: self.metrics.wall_seconds_total,
+            per_query: self.metrics.per_query.clone(),
+        }
+    }
+
+    /// Normalises a query to its cache key, validating vertex ids.
+    fn key_of(&self, query: &Query) -> Result<QueryKey, EngineError> {
+        match query {
+            Query::GlobalTriangles { algorithm } => {
+                Ok(QueryKey::Global(algorithm_index(*algorithm)))
+            }
+            Query::VertexLcc { vertices } => {
+                for &v in vertices {
+                    self.check_vertex(v)?;
+                }
+                Ok(QueryKey::LccFull)
+            }
+            Query::EdgeSupport { edges } => {
+                for &(a, b) in edges {
+                    self.check_vertex(a)?;
+                    self.check_vertex(b)?;
+                }
+                Ok(QueryKey::Support(edges.clone()))
+            }
+            Query::ApproxTriangles { max_rel_error } => {
+                Ok(QueryKey::Approx(bits_for_rel_error(*max_rel_error)))
+            }
+        }
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), EngineError> {
+        if v < self.num_vertices {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownVertex {
+                vertex: v,
+                num_vertices: self.num_vertices,
+            })
+        }
+    }
+
+    /// Executes one cache key as a guarded distributed run against the
+    /// resident state. Returns the value, the run's statistics, and its
+    /// wall time.
+    fn compute(&self, key: &QueryKey) -> Result<(CachedValue, RunStats, f64), EngineError> {
+        let p = self.cfg.num_ranks;
+        let opts = SimOptions {
+            timing: self.cfg.timing,
+            record_trace: false,
+            perturb_seed: self.cfg.perturb_seed,
+        };
+        let started = Instant::now();
+        match key {
+            QueryKey::Global(idx) => {
+                let alg = Algorithm::all()[*idx as usize];
+                let cfg = alg.config();
+                let ranks = self.ranks.clone();
+                let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
+                    exec_global(ctx, &ranks[ctx.rank()], alg, &cfg)
+                })
+                .map_err(DistError::from)?;
+                let wall = started.elapsed().as_secs_f64();
+                let count = out
+                    .output
+                    .results
+                    .into_iter()
+                    .next()
+                    .expect("at least one rank")
+                    .map_err(EngineError::Dist)?;
+                Ok((CachedValue::Count(count), out.output.stats, wall))
+            }
+            QueryKey::LccFull => {
+                let ranks = self.ranks.clone();
+                let cfg = self.cfg.dist;
+                let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
+                    lcc::lcc_prepared(ctx, &ranks[ctx.rank()], &cfg)
+                })
+                .map_err(DistError::from)?;
+                let wall = started.elapsed().as_secs_f64();
+                let mut per_vertex = Vec::with_capacity(self.degrees.len());
+                for owned in out.output.results {
+                    per_vertex.extend(owned);
+                }
+                let full = lcc::normalize_lcc(&per_vertex, &self.degrees);
+                Ok((CachedValue::LccFull(full), out.output.stats, wall))
+            }
+            QueryKey::Support(edges) => {
+                let ranks = self.ranks.clone();
+                let edges = Arc::new(edges.clone());
+                let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
+                    edge_support_rank(ctx, &ranks[ctx.rank()].local, &edges)
+                })
+                .map_err(DistError::from)?;
+                let wall = started.elapsed().as_secs_f64();
+                let support = out
+                    .output
+                    .results
+                    .into_iter()
+                    .next()
+                    .expect("at least one rank");
+                Ok((CachedValue::Support(support), out.output.stats, wall))
+            }
+            QueryKey::Approx(bits) => {
+                let ranks = self.ranks.clone();
+                let cfg = self.cfg.dist;
+                let acfg = ApproxConfig {
+                    bits_per_key: *bits as f64,
+                    filter: FilterKind::Bloom,
+                };
+                let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
+                    approx_prepared(ctx, &ranks[ctx.rank()], &cfg, &acfg)
+                })
+                .map_err(DistError::from)?;
+                let wall = started.elapsed().as_secs_f64();
+                let exact: u64 = out.output.results.iter().map(|r| r.exact_local).sum();
+                let corrected: f64 = out
+                    .output
+                    .results
+                    .iter()
+                    .map(|r| r.type3_corrected)
+                    .sum::<f64>()
+                    .max(0.0);
+                Ok((
+                    CachedValue::Approx(exact as f64 + corrected, *bits as f64),
+                    out.output.stats,
+                    wall,
+                ))
+            }
+        }
+    }
+}
+
+/// One rank's program for a global-count query: the contraction variants
+/// run directly on the resident prepared state; the others run their full
+/// rank program on a clone of the resident local graph, whose ghost degrees
+/// are already known — so their preprocessing phase does no communication.
+fn exec_global(
+    ctx: &mut Ctx,
+    prep: &PreparedRank,
+    alg: Algorithm,
+    cfg: &DistConfig,
+) -> Result<u64, DistError> {
+    match alg {
+        Algorithm::Cetric | Algorithm::Cetric2 => Ok(cetric::count_prepared(ctx, prep, cfg)),
+        Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => {
+            Ok(ditric::run_rank(ctx, prep.local.clone(), cfg))
+        }
+        Algorithm::TricLike => baselines::tric_like_rank(ctx, prep.local.clone(), cfg),
+        Algorithm::HavoqgtLike => Ok(baselines::havoqgt_like_rank(ctx, prep.local.clone(), cfg)),
+    }
+}
+
+/// Projects a cached full value onto the specific query's answer shape.
+fn project(query: &Query, value: &CachedValue) -> QueryAnswer {
+    match (query, value) {
+        (Query::GlobalTriangles { .. }, CachedValue::Count(c)) => QueryAnswer::Count(*c),
+        (Query::VertexLcc { vertices }, CachedValue::LccFull(full)) => {
+            QueryAnswer::Lcc(vertices.iter().map(|&v| (v, full[v as usize])).collect())
+        }
+        (Query::EdgeSupport { edges }, CachedValue::Support(s)) => {
+            QueryAnswer::Support(edges.iter().copied().zip(s.iter().copied()).collect())
+        }
+        (Query::ApproxTriangles { .. }, CachedValue::Approx(est, bits)) => QueryAnswer::Approx {
+            estimate: *est,
+            bits_per_key: *bits,
+        },
+        _ => unreachable!("query/key/value shapes are constructed in lockstep"),
+    }
+}

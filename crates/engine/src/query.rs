@@ -1,0 +1,191 @@
+//! The typed query surface: requests, answers, errors, and the internal
+//! cache keys queries normalise to.
+
+use tricount_core::config::Algorithm;
+use tricount_core::result::DistError;
+use tricount_graph::VertexId;
+
+/// Handle of a submitted query, returned by
+/// [`Engine::submit`](crate::Engine::submit) and echoed with the answer by
+/// [`Engine::tick`](crate::Engine::tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TicketId(pub u64);
+
+/// A request against the resident graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Exact global triangle count under a specific algorithm variant.
+    GlobalTriangles {
+        /// The variant to execute (counts are identical across variants;
+        /// the choice matters for the metered communication statistics).
+        algorithm: Algorithm,
+    },
+    /// Local clustering coefficients of specific vertices.
+    VertexLcc {
+        /// Global vertex ids to answer for.
+        vertices: Vec<VertexId>,
+    },
+    /// Edge support (`|N(a) ∩ N(b)|`, the edge's triangle count) for a
+    /// batch of edges.
+    EdgeSupport {
+        /// Global endpoint pairs to answer for.
+        edges: Vec<(VertexId, VertexId)>,
+    },
+    /// AMQ-approximate global triangle count.
+    ApproxTriangles {
+        /// Target relative error of the type-3 estimate; the engine sizes
+        /// the Bloom sketch (bits per key) from it.
+        max_rel_error: f64,
+    },
+}
+
+impl Query {
+    /// Short kind name for metrics and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::GlobalTriangles { .. } => "global",
+            Query::VertexLcc { .. } => "lcc",
+            Query::EdgeSupport { .. } => "support",
+            Query::ApproxTriangles { .. } => "approx",
+        }
+    }
+}
+
+/// Answer to a [`Query`], in the same shape as the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Global triangle count.
+    Count(u64),
+    /// `(vertex, lcc)` pairs, in request order.
+    Lcc(Vec<(VertexId, f64)>),
+    /// `(edge, support)` pairs, in request order.
+    Support(Vec<((VertexId, VertexId), u64)>),
+    /// Approximate count.
+    Approx {
+        /// The truthful estimate (exact type-1/2 + corrected type-3).
+        estimate: f64,
+        /// Bits per neighborhood key the sketch used.
+        bits_per_key: f64,
+    },
+}
+
+/// Errors the engine reports per query or per submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Admission control rejected the submission: the queue is at capacity.
+    /// Back off and resubmit; already queued queries are unaffected.
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The distributed execution failed (deadlock watchdog, memory limit).
+    Dist(DistError),
+    /// A query referenced a vertex outside the resident graph.
+    UnknownVertex {
+        /// The offending global id.
+        vertex: VertexId,
+        /// Number of vertices in the resident graph.
+        num_vertices: u64,
+    },
+}
+
+impl From<DistError> for EngineError {
+    fn from(e: DistError) -> Self {
+        EngineError::Dist(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
+            }
+            EngineError::Dist(e) => write!(f, "distributed run failed: {e}"),
+            EngineError::UnknownVertex {
+                vertex,
+                num_vertices,
+            } => write!(f, "unknown vertex {vertex} (graph has {num_vertices})"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The unit of cached (and batched) work a query normalises to. Distinct
+/// queries mapping to the same key share one execution: every `VertexLcc`
+/// query needs the full per-vertex vector, so they all collapse onto
+/// [`QueryKey::LccFull`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum QueryKey {
+    /// Global count under the algorithm with this index in
+    /// [`Algorithm::all`].
+    Global(u8),
+    /// The full per-vertex LCC vector.
+    LccFull,
+    /// Edge support for this exact edge batch.
+    Support(Vec<(VertexId, VertexId)>),
+    /// Approximate count with this many bits per key (an integer — the
+    /// resolution the rel-error heuristic quantises to, which is what makes
+    /// nearby error targets share cache entries).
+    Approx(u32),
+}
+
+/// Index of `alg` in [`Algorithm::all`] (the `Ord`-able stand-in for the
+/// algorithm in cache keys).
+pub(crate) fn algorithm_index(alg: Algorithm) -> u8 {
+    Algorithm::all()
+        .iter()
+        .position(|a| *a == alg)
+        .expect("Algorithm::all is exhaustive") as u8
+}
+
+/// Sizes the Bloom sketch for a target relative error: with false-positive
+/// rate `fpr ≈ 0.6185^bits_per_key` and the truthful estimator removing the
+/// *expected* false positives, the residual relative error tracks the fpr —
+/// so pick the smallest integer `b` with `0.6185^b ≤ max_rel_error`,
+/// clamped to `[4, 24]`.
+pub(crate) fn bits_for_rel_error(max_rel_error: f64) -> u32 {
+    let e = max_rel_error.clamp(1.0e-8, 0.5);
+    let b = (e.ln() / 0.6185f64.ln()).ceil();
+    (b as u32).clamp(4, 24)
+}
+
+/// The result of one key's execution, stored in the epoch-keyed cache.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedValue {
+    /// Global count.
+    Count(u64),
+    /// Full LCC vector, indexed by global vertex id.
+    LccFull(Vec<f64>),
+    /// Supports in the key's edge order.
+    Support(Vec<u64>),
+    /// `(estimate, bits_per_key)`.
+    Approx(f64, f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_index_roundtrips() {
+        for (i, alg) in Algorithm::all().into_iter().enumerate() {
+            assert_eq!(algorithm_index(alg) as usize, i);
+        }
+    }
+
+    #[test]
+    fn bits_heuristic_is_monotone_and_clamped() {
+        assert_eq!(bits_for_rel_error(0.9), 4);
+        assert_eq!(bits_for_rel_error(1.0e-12), 24);
+        let mut last = 0;
+        for e in [0.5, 0.1, 0.01, 0.001, 1.0e-6] {
+            let b = bits_for_rel_error(e);
+            assert!(b >= last, "smaller error must not shrink the sketch");
+            last = b;
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Engine observability: per-query records and aggregate serving
+//! statistics, serialisable to JSON without any external dependency.
+
+use tricount_comm::Counters;
+
+/// One served query, as recorded by [`Engine::tick`](crate::Engine::tick).
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Query kind ("global", "lcc", "support", "approx").
+    pub kind: &'static str,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// Modeled α+β+t_op time of the distributed run that produced the
+    /// answer (0 for cache hits).
+    pub modeled_seconds: f64,
+    /// Wall time of the run on the host (0 for cache hits).
+    pub wall_seconds: f64,
+    /// Whether the query failed.
+    pub failed: bool,
+}
+
+/// Aggregate serving statistics, snapshotted by
+/// [`Engine::stats`](crate::Engine::stats).
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Number of PEs the resident graph is partitioned over.
+    pub num_ranks: usize,
+    /// Current epoch (bumped by [`advance_epoch`](crate::Engine::advance_epoch)).
+    pub epoch: u64,
+    /// Queries accepted by [`submit`](crate::Engine::submit).
+    pub submitted: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Queries answered (including failures).
+    pub answered: u64,
+    /// Answers served from the result cache.
+    pub cache_hits: u64,
+    /// Answers that required a distributed run.
+    pub cache_misses: u64,
+    /// Ticks executed.
+    pub batches: u64,
+    /// Queries waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Live entries in the result cache (current epoch).
+    pub cache_entries: usize,
+    /// How many times the setup (partition + ghost exchange + orientation +
+    /// contraction) ran. Stays 1 for the life of the engine — the point of
+    /// residency.
+    pub setup_runs: u64,
+    /// Communication totals of the setup run.
+    pub setup_comm: Counters,
+    /// Communication totals over every distributed query run.
+    pub query_comm: Counters,
+    /// Communication totals restricted to query runs' "preprocessing"
+    /// phases — all zeros when residency works as intended (the ghost
+    /// degree exchange never repeats).
+    pub query_preprocessing_comm: Counters,
+    /// Sum of modeled times over all executed runs.
+    pub modeled_seconds_total: f64,
+    /// Sum of wall times over all executed runs.
+    pub wall_seconds_total: f64,
+    /// Per-query records, in answer order.
+    pub per_query: Vec<QueryRecord>,
+}
+
+impl EngineStats {
+    /// Fraction of answers served from cache (0 when nothing answered).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.answered as f64
+        }
+    }
+
+    /// Serialises the snapshot as a JSON object (hand-rolled: the workspace
+    /// builds without registry access, so no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        push_field(&mut s, "num_ranks", &self.num_ranks.to_string());
+        push_field(&mut s, "epoch", &self.epoch.to_string());
+        push_field(&mut s, "submitted", &self.submitted.to_string());
+        push_field(&mut s, "rejected", &self.rejected.to_string());
+        push_field(&mut s, "answered", &self.answered.to_string());
+        push_field(&mut s, "cache_hits", &self.cache_hits.to_string());
+        push_field(&mut s, "cache_misses", &self.cache_misses.to_string());
+        push_field(&mut s, "cache_hit_rate", &json_f64(self.cache_hit_rate()));
+        push_field(&mut s, "batches", &self.batches.to_string());
+        push_field(&mut s, "queue_depth", &self.queue_depth.to_string());
+        push_field(&mut s, "cache_entries", &self.cache_entries.to_string());
+        push_field(&mut s, "setup_runs", &self.setup_runs.to_string());
+        push_field(&mut s, "setup_comm", &counters_json(&self.setup_comm));
+        push_field(&mut s, "query_comm", &counters_json(&self.query_comm));
+        push_field(
+            &mut s,
+            "query_preprocessing_comm",
+            &counters_json(&self.query_preprocessing_comm),
+        );
+        push_field(
+            &mut s,
+            "modeled_seconds_total",
+            &json_f64(self.modeled_seconds_total),
+        );
+        push_field(
+            &mut s,
+            "wall_seconds_total",
+            &json_f64(self.wall_seconds_total),
+        );
+        let records: Vec<String> = self.per_query.iter().map(record_json).collect();
+        s.push_str("\"per_query\":[");
+        s.push_str(&records.join(","));
+        s.push_str("]}");
+        s
+    }
+}
+
+fn record_json(r: &QueryRecord) -> String {
+    format!(
+        "{{\"kind\":\"{}\",\"cache_hit\":{},\"modeled_seconds\":{},\"wall_seconds\":{},\"failed\":{}}}",
+        r.kind,
+        r.cache_hit,
+        json_f64(r.modeled_seconds),
+        json_f64(r.wall_seconds),
+        r.failed
+    )
+}
+
+/// Serialises the interesting [`Counters`] fields as a JSON object.
+pub fn counters_json(c: &Counters) -> String {
+    format!(
+        "{{\"sent_messages\":{},\"sent_words\":{},\"recv_messages\":{},\"recv_words\":{},\"work_ops\":{},\"coll_alpha_units\":{},\"coll_word_units\":{},\"peak_buffered_words\":{}}}",
+        c.sent_messages,
+        c.sent_words,
+        c.recv_messages,
+        c.recv_words,
+        c.work_ops,
+        c.coll_alpha_units,
+        c.coll_word_units,
+        c.peak_buffered_words
+    )
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf; those become 0).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_field(s: &mut String, name: &str, value: &str) {
+    s.push('"');
+    s.push_str(name);
+    s.push_str("\":");
+    s.push_str(value);
+    s.push(',');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_snapshot_is_wellformed_enough() {
+        let stats = EngineStats {
+            num_ranks: 4,
+            epoch: 0,
+            submitted: 3,
+            rejected: 1,
+            answered: 2,
+            cache_hits: 1,
+            cache_misses: 1,
+            batches: 1,
+            queue_depth: 0,
+            cache_entries: 1,
+            setup_runs: 1,
+            setup_comm: Counters::default(),
+            query_comm: Counters::default(),
+            query_preprocessing_comm: Counters::default(),
+            modeled_seconds_total: 0.5,
+            wall_seconds_total: 0.25,
+            per_query: vec![QueryRecord {
+                kind: "global",
+                cache_hit: false,
+                modeled_seconds: 0.5,
+                wall_seconds: 0.25,
+                failed: false,
+            }],
+        };
+        let j = stats.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cache_hit_rate\":0.5"));
+        assert!(j.contains("\"per_query\":[{\"kind\":\"global\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

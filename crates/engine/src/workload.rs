@@ -1,0 +1,89 @@
+//! Scripted query workloads for the `serve` CLI verb, the closed-loop
+//! benchmark harness and the acceptance tests: a deterministic mixed stream
+//! of global-count, LCC, edge-support and approximate queries drawn from a
+//! bounded palette (so repeats occur and the cache has something to do).
+
+use tricount_core::config::Algorithm;
+use tricount_graph::VertexId;
+
+use crate::query::Query;
+
+/// splitmix64 — the workload's only randomness source (`Date`-free and
+/// dependency-free by construction).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Generates a deterministic mixed workload of `n` queries over a graph
+/// with `num_vertices` vertices: roughly 40% global counts (cycling the
+/// algorithm variants), 30% vertex LCCs, 20% edge supports (drawn from a
+/// palette of 4 edge batches) and 10% approximate counts (3 error
+/// targets). Same `(n, num_vertices, seed)` → same stream.
+pub fn scripted_workload(n: usize, num_vertices: u64, seed: u64) -> Vec<Query> {
+    assert!(num_vertices >= 2, "workload needs at least two vertices");
+    let mut rng = seed ^ 0x5eed;
+
+    // Pre-draw a small palette of edge batches so support queries repeat.
+    let mut edge_batches: Vec<Vec<(VertexId, VertexId)>> = Vec::new();
+    for _ in 0..4 {
+        let len = 2 + (splitmix64(&mut rng) % 6) as usize;
+        let mut batch = Vec::with_capacity(len);
+        for _ in 0..len {
+            let a = splitmix64(&mut rng) % num_vertices;
+            let mut b = splitmix64(&mut rng) % num_vertices;
+            if b == a {
+                b = (b + 1) % num_vertices;
+            }
+            batch.push((a, b));
+        }
+        edge_batches.push(batch);
+    }
+    let rel_errors = [0.25, 0.05, 0.01];
+    let algorithms = Algorithm::all();
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let roll = splitmix64(&mut rng) % 100;
+        let q = if roll < 40 {
+            Query::GlobalTriangles {
+                algorithm: algorithms[i % algorithms.len()],
+            }
+        } else if roll < 70 {
+            let len = 1 + (splitmix64(&mut rng) % 8);
+            let vertices = (0..len)
+                .map(|_| splitmix64(&mut rng) % num_vertices)
+                .collect();
+            Query::VertexLcc { vertices }
+        } else if roll < 90 {
+            let batch = edge_batches[(splitmix64(&mut rng) % 4) as usize].clone();
+            Query::EdgeSupport { edges: batch }
+        } else {
+            Query::ApproxTriangles {
+                max_rel_error: rel_errors[(splitmix64(&mut rng) % 3) as usize],
+            }
+        };
+        out.push(q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let a = scripted_workload(500, 128, 7);
+        let b = scripted_workload(500, 128, 7);
+        assert_eq!(a, b);
+        let kinds: Vec<&str> = a.iter().map(|q| q.kind()).collect();
+        for k in ["global", "lcc", "support", "approx"] {
+            assert!(kinds.contains(&k), "workload must contain {k} queries");
+        }
+        assert_ne!(scripted_workload(500, 128, 8), a);
+    }
+}

@@ -1,0 +1,140 @@
+//! Engine serving semantics: caching, epoch invalidation, admission
+//! control, batching, and schedule-independence of batched results.
+
+use tricount_core::config::Algorithm;
+use tricount_engine::{Engine, EngineConfig, EngineError, Query, QueryAnswer};
+
+fn small_engine(p: usize) -> Engine {
+    let g = tricount_gen::rgg2d_default(128, 3);
+    Engine::build(&g, EngineConfig::new(p))
+}
+
+#[test]
+fn repeated_identical_query_hits_the_cache() {
+    let mut e = small_engine(2);
+    let q = Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    };
+    let a1 = e.query(q.clone()).unwrap();
+    let a2 = e.query(q).unwrap();
+    assert_eq!(a1, a2);
+    let s = e.stats();
+    assert_eq!(s.cache_misses, 1, "first query executes");
+    assert_eq!(s.cache_hits, 1, "second query is served from cache");
+    assert!(s.cache_hit_rate() > 0.0);
+}
+
+#[test]
+fn advance_epoch_invalidates_the_cache() {
+    let mut e = small_engine(2);
+    let q = Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    };
+    let a1 = e.query(q.clone()).unwrap();
+    assert_eq!(e.stats().cache_entries, 1);
+    e.advance_epoch();
+    assert_eq!(e.epoch(), 1);
+    assert_eq!(e.stats().cache_entries, 0, "old-epoch entries are dropped");
+    let a2 = e.query(q).unwrap();
+    assert_eq!(a1, a2, "the graph did not change, only the epoch");
+    let s = e.stats();
+    assert_eq!(s.cache_misses, 2, "the second query re-executed");
+    assert_eq!(s.cache_hits, 0);
+}
+
+#[test]
+fn submission_beyond_queue_capacity_is_rejected() {
+    let g = tricount_gen::rgg2d_default(128, 3);
+    let mut cfg = EngineConfig::new(2);
+    cfg.queue_capacity = 2;
+    let mut e = Engine::build(&g, cfg);
+    let q = Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    };
+    assert!(e.submit(q.clone()).is_ok());
+    assert!(e.submit(q.clone()).is_ok());
+    match e.submit(q.clone()) {
+        Err(EngineError::Overloaded { depth, capacity }) => {
+            assert_eq!(depth, 2);
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(e.stats().rejected, 1);
+    // draining the queue readmits
+    let answered = e.tick();
+    assert_eq!(answered.len(), 2);
+    assert!(e.submit(q).is_ok());
+}
+
+#[test]
+fn lcc_queries_in_one_batch_share_one_run() {
+    let mut e = small_engine(2);
+    let t1 = e
+        .submit(Query::VertexLcc {
+            vertices: vec![0, 1, 2],
+        })
+        .unwrap();
+    let t2 = e
+        .submit(Query::VertexLcc {
+            vertices: vec![3, 4],
+        })
+        .unwrap();
+    let answers = e.tick();
+    assert_eq!(answers.len(), 2);
+    assert_eq!(answers[0].0, t1);
+    assert_eq!(answers[1].0, t2);
+    let s = e.stats();
+    // different vertex sets, same underlying full-vector computation
+    assert_eq!(s.cache_misses, 1);
+    assert_eq!(s.cache_hits, 1);
+}
+
+#[test]
+fn unknown_vertices_fail_without_executing() {
+    let mut e = small_engine(2);
+    let n = e.num_vertices();
+    match e.query(Query::VertexLcc {
+        vertices: vec![n + 5],
+    }) {
+        Err(EngineError::UnknownVertex {
+            vertex,
+            num_vertices,
+        }) => {
+            assert_eq!(vertex, n + 5);
+            assert_eq!(num_vertices, n);
+        }
+        other => panic!("expected UnknownVertex, got {other:?}"),
+    }
+    match e.query(Query::EdgeSupport {
+        edges: vec![(0, n)],
+    }) {
+        Err(EngineError::UnknownVertex { vertex, .. }) => assert_eq!(vertex, n),
+        other => panic!("expected UnknownVertex, got {other:?}"),
+    }
+    assert_eq!(e.stats().cache_entries, 0, "nothing was computed");
+}
+
+/// Batched answers must be independent of the simulated message schedule:
+/// the same batch driven through engines with different perturbation seeds
+/// yields bit-identical answers (the engine-level counterpart of
+/// `tricount_verify::check_schedule_independence`, which the correctness
+/// suite applies to the rank programs directly).
+#[test]
+fn batched_results_are_schedule_independent() {
+    let g = tricount_gen::rgg2d_default(192, 5);
+    let workload = tricount_engine::scripted_workload(24, g.num_vertices(), 11);
+    let mut all_answers: Vec<Vec<QueryAnswer>> = Vec::new();
+    for seed in [None, Some(1u64), Some(99)] {
+        let mut cfg = EngineConfig::new(3);
+        cfg.perturb_seed = seed;
+        let mut e = Engine::build(&g, cfg);
+        let answers: Vec<QueryAnswer> = workload
+            .iter()
+            .map(|q| e.query(q.clone()).unwrap())
+            .collect();
+        all_answers.push(answers);
+    }
+    assert_eq!(all_answers[0], all_answers[1]);
+    assert_eq!(all_answers[0], all_answers[2]);
+}

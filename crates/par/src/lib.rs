@@ -97,19 +97,25 @@ impl Pool {
                 handles.push(scope.spawn(move || {
                     let mut out: Vec<TaskResult<R>> = Vec::new();
                     loop {
-                        // own deque front → steal from peers' backs
-                        let job = queues[wid]
+                        // Own deque front, then steal from peers' backs. The
+                        // own-deque pop must be a separate statement: chaining
+                        // `.or_else` onto it keeps the own-lock guard alive
+                        // through the steal attempts (temporaries live to the
+                        // end of the statement), and n workers holding their
+                        // own lock while locking a peer's is a lock cycle —
+                        // every batch ends with all workers in the steal path.
+                        let own = queues[wid]
                             .lock()
                             .expect("worker deque poisoned")
-                            .pop_front()
-                            .or_else(|| {
-                                (1..n).find_map(|off| {
-                                    queues[(wid + off) % n]
-                                        .lock()
-                                        .expect("worker deque poisoned")
-                                        .pop_back()
-                                })
-                            });
+                            .pop_front();
+                        let job = own.or_else(|| {
+                            (1..n).find_map(|off| {
+                                queues[(wid + off) % n]
+                                    .lock()
+                                    .expect("worker deque poisoned")
+                                    .pop_back()
+                            })
+                        });
                         match job {
                             Some((idx, task)) => {
                                 let result = f(idx, task);
@@ -225,6 +231,22 @@ mod tests {
             acc
         });
         assert_eq!(results.len(), 64);
+    }
+
+    #[test]
+    fn drained_batches_terminate() {
+        // Regression: every batch ends with all workers in the steal path at
+        // once; the pool must never hold its own deque lock while locking a
+        // peer's (lock cycle → deadlock). Many tiny batches maximise
+        // end-of-batch contention.
+        for workers in [2usize, 4, 8] {
+            let pool = Pool::new(workers);
+            for round in 0..200u64 {
+                let tasks: Vec<u64> = (0..workers as u64 + round % 3).collect();
+                let results = pool.run_tasks(tasks, |_i, x| x);
+                assert_eq!(results.len(), workers + (round % 3) as usize);
+            }
+        }
     }
 
     #[test]
