@@ -109,6 +109,40 @@ fn main() {
             &format_f64(mean),
         );
     }
+
+    // log-bucketed latency quantiles from the engine's histograms
+    for (label, sum) in [
+        ("queue_wait", &s.queue_wait),
+        ("run_wall", &s.run_wall),
+        ("run_modeled", &s.run_modeled),
+    ] {
+        if sum.count == 0 {
+            continue;
+        }
+        push(
+            &mut rows,
+            &mut report,
+            &format!("engine/{label}_p50"),
+            fmt_time(sum.p50),
+            &format_f64(sum.p50),
+        );
+        push(
+            &mut rows,
+            &mut report,
+            &format!("engine/{label}_p99"),
+            format!("{} (max {})", fmt_time(sum.p99), fmt_time(sum.max)),
+            &format_f64(sum.p99),
+        );
+    }
+    let executed: u64 = s.pool.iter().map(|w| w.executed).sum();
+    let steals: u64 = s.pool.iter().map(|w| w.steals_succeeded).sum();
+    push(
+        &mut rows,
+        &mut report,
+        "engine/pool_tasks_executed",
+        format!("{executed} ({steals} stolen)"),
+        &format_f64(executed as f64),
+    );
     report.push_raw("engine/stats", &s.to_json());
 
     print_table(

@@ -97,6 +97,27 @@ pub enum Command {
         seed: u64,
         /// Print the machine-readable stats snapshot instead of the table.
         json: bool,
+        /// Write the engine's Prometheus text exposition here after serving.
+        metrics_out: Option<String>,
+    },
+    /// Run one traced, timed count and export its profile.
+    Profile {
+        /// Input source.
+        source: Source,
+        /// Distributed algorithm (`seq` is rejected — nothing to trace).
+        algorithm: Algorithm,
+        /// Simulated PEs.
+        p: usize,
+        /// Cost model preset.
+        model: CostModel,
+        /// Config overrides.
+        config: DistConfig,
+        /// Write a Chrome-trace / Perfetto JSON file here.
+        chrome_trace: Option<String>,
+        /// Print the per-phase modeled/wall breakdown and span summary.
+        phase_report: bool,
+        /// Write the run's Prometheus text exposition here.
+        metrics_out: Option<String>,
     },
 }
 
@@ -192,6 +213,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         || verb == "info"
         || verb == "enumerate"
         || verb == "serve"
+        || verb == "profile"
     {
         return Err("need an input: --input FILE, --family F, or --dataset D".to_string());
     } else {
@@ -259,17 +281,46 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             queries: parse_u64("queries", 100)? as usize,
             seed: parse_u64("workload-seed", 42)?,
             json: get("json").is_some_and(|v| v == "true" || v == "1"),
+            metrics_out: get("metrics-out").map(|v| v.to_string()),
         }),
+        "profile" => {
+            let algorithm = parse_algorithm(get("alg").unwrap_or("cetric"))?
+                .ok_or("profile needs a distributed algorithm (seq records no trace)")?;
+            let mut config = algorithm.config();
+            if let Some(r) = get("routing") {
+                config.routing = match r {
+                    "direct" => Routing::Direct,
+                    "grid" => Routing::Grid,
+                    _ => return Err(format!("unknown routing {r:?} (direct|grid)")),
+                };
+            }
+            let model = match get("model").unwrap_or("supermuc") {
+                "supermuc" => CostModel::supermuc(),
+                "cloud" => CostModel::cloud(),
+                m => return Err(format!("unknown model {m:?} (supermuc|cloud)")),
+            };
+            Ok(Command::Profile {
+                source,
+                algorithm,
+                p,
+                model,
+                config,
+                chrome_trace: get("chrome-trace").map(|v| v.to_string()),
+                phase_report: get("phase-report").is_some_and(|v| v == "true" || v == "1"),
+                metrics_out: get("metrics-out").map(|v| v.to_string()),
+            })
+        }
         v => Err(format!("unknown command {v:?}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: tricount <generate|count|lcc|enumerate|info|serve> \
+    "usage: tricount <generate|count|lcc|enumerate|info|serve|profile> \
      [--input FILE | --family gnm|rgg2d|rhg|rmat | --dataset NAME] \
      [--n N] [--seed S] [--p P] [--alg A] [--model supermuc|cloud] \
      [--routing direct|grid] [--delta-factor F] [--top K] [--limit K] \
-     [--queries Q] [--workload-seed S] [--json 1] [-o OUT]"
+     [--queries Q] [--workload-seed S] [--json 1] [-o OUT] \
+     [--chrome-trace OUT.json] [--phase-report 1] [--metrics-out OUT.prom]"
         .to_string()
 }
 
@@ -390,12 +441,69 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 }
             }
         }
+        Command::Profile {
+            source,
+            algorithm,
+            p,
+            model,
+            config,
+            chrome_trace,
+            phase_report,
+            metrics_out,
+        } => {
+            use tricount_comm::SimOptions;
+            let g = load_source(&source)?;
+            let dg = tricount_graph::DistGraph::new_balanced_vertices(&g, p);
+            let opts = SimOptions {
+                timing: Some(model),
+                record_trace: true,
+                perturb_seed: None,
+            };
+            let (r, trace) = tricount_core::dist::run_on_sim(dg, algorithm, &config, &opts)
+                .map_err(|e| e.to_string())?;
+            let trace = trace.ok_or("run recorded no trace (trace feature missing?)")?;
+            println!("triangles: {}", r.triangles);
+            println!(
+                "{} on {p} PEs: modeled {:.3} ms | makespan {:.3} ms",
+                algorithm.name(),
+                r.modeled_time(&model) * 1e3,
+                r.stats.makespan() * 1e3
+            );
+            if phase_report {
+                print!(
+                    "{}",
+                    tricount_obs::phase_report(&r.stats, Some(&trace), &model)
+                );
+                print!("{}", tricount_obs::span_summary(&trace));
+            }
+            if let Some(path) = chrome_trace {
+                let export = tricount_obs::export_run(&trace, &r.stats, &model);
+                let recv = r.stats.totals().recv_messages;
+                if export.flow_arrows != recv {
+                    return Err(format!(
+                        "exporter invariant broken: {} flow arrows but {} delivered messages",
+                        export.flow_arrows, recv
+                    ));
+                }
+                std::fs::write(&path, &export.json).map_err(|e| e.to_string())?;
+                println!(
+                    "wrote {path} ({} tracks, {} flow arrows; open in ui.perfetto.dev)",
+                    export.tracks, export.flow_arrows
+                );
+            }
+            if let Some(path) = metrics_out {
+                let reg = tricount_obs::run_metrics(&r.stats, &model, Some(&trace));
+                std::fs::write(&path, reg.render()).map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+            }
+        }
         Command::Serve {
             source,
             p,
             queries,
             seed,
             json,
+            metrics_out,
         } => {
             use tricount_engine::{scripted_workload, Engine, EngineConfig};
             let g = load_source(&source)?;
@@ -447,6 +555,16 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     s.modeled_seconds_total * 1e3,
                     s.wall_seconds_total * 1e3
                 );
+                println!(
+                    "queue wait p50 {:.3} ms | p99 {:.3} ms | max {:.3} ms",
+                    s.queue_wait.p50 * 1e3,
+                    s.queue_wait.p99 * 1e3,
+                    s.queue_wait.max * 1e3
+                );
+            }
+            if let Some(path) = metrics_out {
+                std::fs::write(&path, engine.prometheus()).map_err(|e| e.to_string())?;
+                println!("wrote {path}");
             }
         }
     }
@@ -565,6 +683,66 @@ mod tests {
         ))
         .unwrap();
         execute(cmd).unwrap();
+    }
+
+    #[test]
+    fn parse_and_execute_profile() {
+        let cmd = parse(&args("profile --family rgg2d --n 256 --p 4 --alg cetric2")).unwrap();
+        match &cmd {
+            Command::Profile {
+                algorithm,
+                p,
+                chrome_trace,
+                phase_report,
+                ..
+            } => {
+                assert_eq!(*algorithm, Algorithm::Cetric2);
+                assert_eq!(*p, 4);
+                assert!(chrome_trace.is_none());
+                assert!(!phase_report);
+            }
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+        // seq has no trace to export
+        assert!(parse(&args("profile --family gnm --alg seq")).is_err());
+    }
+
+    #[test]
+    fn profile_exports_both_formats() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("tricount_cli_profile.json");
+        let prom_path = dir.join("tricount_cli_profile.prom");
+        let cmd = parse(&args(&format!(
+            "profile --family rmat --n 512 --p 4 --alg cetric --phase-report 1 \
+             --chrome-trace {} --metrics-out {}",
+            trace_path.display(),
+            prom_path.display()
+        )))
+        .unwrap();
+        execute(cmd).unwrap();
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(json.contains("traceEvents"));
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("tricount_run_pes"));
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(prom_path).ok();
+    }
+
+    #[test]
+    fn serve_writes_metrics_exposition() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("tricount_cli_serve.prom");
+        let cmd = parse(&args(&format!(
+            "serve --family rgg2d --n 128 --p 2 --queries 10 --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        execute(cmd).unwrap();
+        let prom = std::fs::read_to_string(&path).unwrap();
+        assert!(prom.contains("tricount_engine_submitted_total"));
+        assert!(prom.contains("tricount_engine_queue_wait_seconds"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`engine`] — the resident query engine: load a graph once, then serve
 //!   batched triangle / LCC / edge-support / approximate queries against the
 //!   prepared per-rank state with an epoch-keyed result cache.
+//! * [`obs`] — observability: deterministic Chrome-trace export of recorded
+//!   runs, log-bucketed latency histograms, Prometheus text exposition, and
+//!   terminal phase reports (`tricount profile`, `serve --metrics-out`).
 //!
 //! ## Example
 //!
@@ -49,6 +52,7 @@ pub use tricount_core as core;
 pub use tricount_engine as engine;
 pub use tricount_gen as gen;
 pub use tricount_graph as graph;
+pub use tricount_obs as obs;
 pub use tricount_par as par;
 
 /// The most commonly used items in one import.

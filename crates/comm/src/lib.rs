@@ -47,4 +47,4 @@ pub use runtime::{
     SimOutput,
 };
 pub use stats::{Counters, PhaseStats, RunStats};
-pub use trace::{hash_words, CollKind, Trace, TraceEvent};
+pub use trace::{hash_words, CollKind, SpanKind, SpanRecord, SpanStamp, Trace, TraceEvent};

@@ -34,7 +34,7 @@ use std::sync::atomic::Ordering;
 use crate::cost::ceil_log2;
 use crate::grid::Grid;
 use crate::runtime::Ctx;
-use crate::trace::{hash_words, TraceEvent};
+use crate::trace::{hash_words, SpanKind, TraceEvent};
 
 /// Envelope routing discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -239,6 +239,10 @@ impl MessageQueue {
 
     /// Flushes every nonempty buffer as one aggregated message per peer.
     pub fn flush_all(&mut self, ctx: &mut Ctx) {
+        let active = self.buffered_words > 0;
+        if active {
+            ctx.span_begin(SpanKind::Flush, "flush");
+        }
         for peer in 0..self.p {
             if !self.buffers[peer].is_empty() {
                 let buf = std::mem::take(&mut self.buffers[peer]);
@@ -246,6 +250,9 @@ impl MessageQueue {
                 ctx.trace_with(|| TraceEvent::Flushed { peer, words });
                 ctx.send_raw(peer, buf);
             }
+        }
+        if active {
+            ctx.span_end();
         }
         self.buffered_words = 0;
         ctx.note_buffered(0);

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use crate::cost::{ceil_log2, CostModel};
 use crate::stats::{Counters, PhaseStats, RunStats};
-use crate::trace::{CollKind, Trace, TraceEvent};
+use crate::trace::{CollKind, SpanKind, SpanRecord, SpanStamp, Trace, TraceEvent};
 
 /// A raw point-to-point message: the sending rank and a word payload.
 #[derive(Debug)]
@@ -88,6 +88,8 @@ fn op_name(code: u64) -> &'static str {
 /// State shared by all PEs of one run.
 pub(crate) struct Shared {
     p: usize,
+    /// Wall-clock origin of the run; span stamps are relative to this.
+    epoch: Instant,
     senders: Vec<Sender<RawMsg>>,
     barrier: Barrier,
     coll: Mutex<CollScratch>,
@@ -121,6 +123,7 @@ fn make_shared(p: usize) -> (Shared, Vec<Receiver<RawMsg>>) {
     }
     let shared = Shared {
         p,
+        epoch: Instant::now(),
         senders,
         barrier: Barrier::new(p),
         coll: Mutex::new(CollScratch {
@@ -201,6 +204,12 @@ pub struct Ctx<'s> {
     /// Whether trace events are recorded for this run.
     tracing: bool,
     trace_buf: Vec<TraceEvent>,
+    /// Completed spans of this PE (recorded when a span ends).
+    span_buf: Vec<SpanRecord>,
+    /// Open spans, innermost last.
+    span_stack: Vec<(SpanKind, String, SpanStamp)>,
+    /// Stamp at which the current phase began (previous phase end).
+    phase_mark: SpanStamp,
 }
 
 struct PhaseRecord {
@@ -242,6 +251,54 @@ impl<'s> Ctx<'s> {
         }
     }
 
+    /// A causal stamp at the current instant: this PE's simulated clock
+    /// plus wall time since the run's epoch.
+    #[inline]
+    fn now_stamp(&self) -> SpanStamp {
+        SpanStamp {
+            sim: self.clock,
+            wall_nanos: self.shared.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Opens a span. Gated on `self.tracing` (always false without the
+    /// `trace` feature), so untraced runs pay one predictable branch and
+    /// never touch the wall clock — the same non-perturbation discipline
+    /// as [`Ctx::trace_with`].
+    #[inline]
+    pub(crate) fn span_begin(&mut self, kind: SpanKind, label: &str) {
+        if self.tracing {
+            let at = self.now_stamp();
+            self.span_stack.push((kind, label.to_string(), at));
+        }
+    }
+
+    /// Closes the innermost open span and records it.
+    #[inline]
+    pub(crate) fn span_end(&mut self) {
+        if self.tracing {
+            if let Some((kind, label, begin)) = self.span_stack.pop() {
+                let end = self.now_stamp();
+                self.span_buf.push(SpanRecord {
+                    kind,
+                    label,
+                    begin,
+                    end,
+                });
+            }
+        }
+    }
+
+    /// Runs `f` under a caller-named [`SpanKind::Task`] span. In traced
+    /// runs the section appears in [`Trace::spans`] with causal begin/end
+    /// stamps; otherwise this is just a call to `f`.
+    pub fn with_span<R>(&mut self, label: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.span_begin(SpanKind::Task, label);
+        let out = f(self);
+        self.span_end();
+        out
+    }
+
     /// Bumps this PE's progress heartbeat (watchdog liveness signal).
     #[inline]
     pub(crate) fn beat(&self) {
@@ -254,15 +311,17 @@ impl<'s> Ctx<'s> {
         self.shared.op_state[self.rank].store(code, Ordering::Relaxed);
     }
 
-    /// Marks collective entry: op state, heartbeat, trace event.
+    /// Marks collective entry: op state, heartbeat, trace event, span.
     fn enter_coll(&mut self, kind: CollKind) {
         self.set_op(coll_op_code(kind));
         self.beat();
         self.trace_with(|| TraceEvent::CollEnter { kind });
+        self.span_begin(SpanKind::Collective(kind), kind.name());
     }
 
     /// Marks collective exit.
     fn exit_coll(&mut self, kind: CollKind) {
+        self.span_end();
         self.trace_with(|| TraceEvent::CollExit { kind });
         self.set_op(OP_RUNNING);
     }
@@ -606,6 +665,16 @@ impl<'s> Ctx<'s> {
         self.trace_with(|| TraceEvent::PhaseEnded {
             name: name.to_string(),
         });
+        if self.tracing {
+            let end = self.now_stamp();
+            self.span_buf.push(SpanRecord {
+                kind: SpanKind::Phase,
+                label: name.to_string(),
+                begin: self.phase_mark,
+                end,
+            });
+            self.phase_mark = end;
+        }
         self.phases.push(PhaseRecord {
             name: name.to_string(),
             counters: self.counters,
@@ -633,8 +702,9 @@ pub struct SimOutput<R> {
     pub trace: Option<Trace>,
 }
 
-/// What one rank thread hands back: result, phase records, trace events.
-type RankOutcome<R> = (R, Vec<PhaseRecord>, Vec<TraceEvent>);
+/// What one rank thread hands back: result, phase records, trace events,
+/// recorded spans.
+type RankOutcome<R> = (R, Vec<PhaseRecord>, Vec<TraceEvent>, Vec<SpanRecord>);
 
 fn drive_rank<R, F>(
     rank: usize,
@@ -672,12 +742,15 @@ where
         perturb,
         tracing: cfg!(feature = "trace") && opts.record_trace,
         trace_buf: Vec::new(),
+        span_buf: Vec::new(),
+        span_stack: Vec::new(),
+        phase_mark: SpanStamp::default(),
     };
     let result = f(&mut ctx);
     ctx.end_phase_uncharged("rest");
     ctx.set_op(OP_DONE);
     ctx.beat();
-    (result, ctx.phases, ctx.trace_buf)
+    (result, ctx.phases, ctx.trace_buf, ctx.span_buf)
 }
 
 /// Assembles per-rank outcomes into a [`SimOutput`]; all ranks must agree on
@@ -686,10 +759,12 @@ fn assemble<R>(p: usize, outcomes: Vec<RankOutcome<R>>, want_trace: bool) -> Sim
     let mut results = Vec::with_capacity(p);
     let mut per_rank_phases: Vec<Vec<PhaseRecord>> = Vec::with_capacity(p);
     let mut per_pe_trace: Vec<Vec<TraceEvent>> = Vec::with_capacity(p);
-    for (r, ph, tr) in outcomes {
+    let mut per_pe_spans: Vec<Vec<SpanRecord>> = Vec::with_capacity(p);
+    for (r, ph, tr, sp) in outcomes {
         results.push(r);
         per_rank_phases.push(ph);
         per_pe_trace.push(tr);
+        per_pe_spans.push(sp);
     }
 
     let names: Vec<String> = per_rank_phases[0]
@@ -742,6 +817,7 @@ fn assemble<R>(p: usize, outcomes: Vec<RankOutcome<R>>, want_trace: bool) -> Sim
 
     let trace = (want_trace && cfg!(feature = "trace")).then_some(Trace {
         per_pe: per_pe_trace,
+        spans: per_pe_spans,
     });
     SimOutput {
         output: RunOutput {
@@ -1218,6 +1294,59 @@ mod tests {
                 assert_eq!(got, &expect, "seed {seed} rank {me}");
             }
         }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_runs_record_phase_collective_and_task_spans() {
+        let out = run_sim(
+            4,
+            &SimOptions {
+                timing: Some(CostModel::supermuc()),
+                ..SimOptions::traced()
+            },
+            |ctx| {
+                ctx.with_span("setup", |ctx| ctx.add_work(10));
+                ctx.allreduce_sum(&[1]);
+                ctx.end_phase("a");
+                ctx.barrier();
+                ctx.end_phase("b");
+            },
+        );
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.spans.len(), 4);
+        for spans in &trace.spans {
+            let phases: Vec<&str> = spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Phase)
+                .map(|s| s.label.as_str())
+                .collect();
+            // trailing "rest" phase is recorded as a span even when the
+            // stats drop it as inactive
+            assert_eq!(phases, ["a", "b", "rest"]);
+            assert!(spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Collective(CollKind::AllreduceSum)));
+            let task = spans
+                .iter()
+                .find(|s| s.kind == SpanKind::Task)
+                .expect("task span");
+            assert_eq!(task.label, "setup");
+            for s in spans {
+                assert!(s.end.wall_nanos >= s.begin.wall_nanos);
+                assert!(s.end.sim >= s.begin.sim);
+            }
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn untraced_runs_record_no_spans() {
+        let out = run_sim(2, &SimOptions::default(), |ctx| {
+            ctx.with_span("w", |ctx| ctx.add_work(1));
+            ctx.end_phase("a");
+        });
+        assert!(out.trace.is_none());
     }
 
     #[test]

@@ -143,11 +143,80 @@ pub enum TraceEvent {
     },
 }
 
+/// A causal timestamp pair captured at a span boundary: the overlap-aware
+/// simulated clock of timed runs (0 in untimed runs) plus host wall time
+/// relative to the run's start. Wall stamps are measurement, not model —
+/// they vary run to run and never feed deterministic artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStamp {
+    /// Simulated-clock seconds at the boundary ([`crate::stats::Counters::sim_clock`]).
+    pub sim: f64,
+    /// Host wall nanoseconds since the run started.
+    pub wall_nanos: u64,
+}
+
+/// What a recorded [`SpanRecord`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A barrier-delimited phase, closed by [`crate::Ctx::end_phase`].
+    Phase,
+    /// A collective, from entry to exit.
+    Collective(CollKind),
+    /// A [`crate::MessageQueue`] flush that actually sent something.
+    Flush,
+    /// A caller-named section ([`crate::Ctx::with_span`]).
+    Task,
+}
+
+impl SpanKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Phase => "phase",
+            SpanKind::Collective(_) => "collective",
+            SpanKind::Flush => "flush",
+            SpanKind::Task => "task",
+        }
+    }
+}
+
+/// One recorded span of one PE: a labelled interval with causal begin/end
+/// stamps. Recorded with a plain `Vec::push` into a private per-PE buffer,
+/// exactly like [`TraceEvent`]s, so span recording never perturbs the
+/// schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// Phase name, collective name, or caller-chosen label.
+    pub label: String,
+    /// Stamp at span entry.
+    pub begin: SpanStamp,
+    /// Stamp at span exit.
+    pub end: SpanStamp,
+}
+
+impl SpanRecord {
+    /// Wall duration in seconds (0 if the clock went backwards).
+    pub fn wall_seconds(&self) -> f64 {
+        self.end.wall_nanos.saturating_sub(self.begin.wall_nanos) as f64 * 1e-9
+    }
+
+    /// Simulated-clock duration in seconds (0 in untimed runs).
+    pub fn sim_seconds(&self) -> f64 {
+        (self.end.sim - self.begin.sim).max(0.0)
+    }
+}
+
 /// The full per-PE event record of one simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Events of each PE, indexed by rank, in program order.
     pub per_pe: Vec<Vec<TraceEvent>>,
+    /// Spans of each PE, indexed by rank, in completion order (a span is
+    /// recorded when it ends). Empty per-PE vectors when the run recorded
+    /// no spans.
+    pub spans: Vec<Vec<SpanRecord>>,
 }
 
 impl Trace {
@@ -164,6 +233,11 @@ impl Trace {
     /// Whether no events were recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total number of recorded spans.
+    pub fn num_spans(&self) -> usize {
+        self.spans.iter().map(Vec::len).sum()
     }
 }
 

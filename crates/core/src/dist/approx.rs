@@ -14,6 +14,7 @@ use tricount_graph::intersect::merge_count;
 
 use crate::config::DistConfig;
 use crate::dist::into_cells;
+use crate::dist::phases;
 use crate::dist::residency::{prepare_rank, PreparedRank};
 use crate::result::ApproxResult;
 
@@ -101,7 +102,7 @@ pub fn approx_prepared(
         }
     }
     let contracted = &prep.contracted;
-    ctx.end_phase("local");
+    ctx.end_phase(phases::LOCAL);
 
     // approximate global phase: per destination PE j, send the heads
     // A(v) ∩ V_j explicitly plus a sketch of the full contracted A(v):
@@ -205,7 +206,7 @@ pub fn approx_prepared(
     q.finish(ctx, &mut |ctx, env| {
         handler(contracted, ctx, env, &mut raw, &mut corrected)
     });
-    ctx.end_phase("global");
+    ctx.end_phase(phases::GLOBAL);
 
     corrected.sort_by(f64::total_cmp);
     ApproxRankOutput {

@@ -20,6 +20,7 @@ use tricount_graph::dist::{ContractedGraph, LocalGraph};
 use tricount_graph::intersect::merge_count;
 
 use crate::config::DistConfig;
+use crate::dist::phases;
 use crate::dist::residency::{prepare_rank, PreparedRank};
 
 /// Runs CETRIC on this rank; returns the global triangle count.
@@ -57,7 +58,7 @@ pub fn count_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> u
         }
     }
     let contracted = &prep.contracted;
-    ctx.end_phase("local");
+    ctx.end_phase(phases::LOCAL);
 
     // Global phase (lines 9–16) on the contracted graph.
     let delta = cfg.resolve_delta(prep.local.num_local_entries());
@@ -115,6 +116,6 @@ pub fn count_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> u
     });
 
     let total = ctx.allreduce_sum(&[local_count + remote_count])[0];
-    ctx.end_phase("global");
+    ctx.end_phase(phases::GLOBAL);
     total
 }

@@ -14,6 +14,7 @@ use tricount_graph::dist::LocalGraph;
 use tricount_graph::intersect::merge_count;
 
 use crate::config::DistConfig;
+use crate::dist::phases;
 use crate::dist::preprocess;
 
 /// Runs DITRIC on this rank; returns the *global* triangle count (identical
@@ -21,7 +22,7 @@ use crate::dist::preprocess;
 pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
     preprocess(ctx, &mut lg, cfg);
     let o = lg.orient(cfg.ordering, false);
-    ctx.end_phase("preprocessing");
+    ctx.end_phase(phases::PREPROCESSING);
 
     // Local pass: directed edges (v, u) with u local are intersected
     // in place (lines 2–4 of Algorithm 2).
@@ -36,7 +37,7 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
             }
         }
     }
-    ctx.end_phase("local");
+    ctx.end_phase(phases::LOCAL);
 
     // Global pass: stream A(v) to owners of remote heads (line 5), process
     // incoming neighborhoods (lines 6–7).
@@ -112,6 +113,6 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> u64 {
     });
 
     let total = ctx.allreduce_sum(&[local_count + remote_count])[0];
-    ctx.end_phase("global");
+    ctx.end_phase(phases::GLOBAL);
     total
 }

@@ -10,6 +10,7 @@ use tricount_graph::intersect::merge_collect;
 use tricount_graph::VertexId;
 
 use crate::config::DistConfig;
+use crate::dist::phases;
 use crate::dist::{into_cells, preprocess};
 
 /// A triangle as an id-sorted triple.
@@ -27,7 +28,7 @@ fn sorted(a: VertexId, b: VertexId, c: VertexId) -> Triangle {
 fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<Triangle> {
     preprocess(ctx, &mut lg, cfg);
     let o = lg.orient(cfg.ordering, true);
-    ctx.end_phase("preprocessing");
+    ctx.end_phase(phases::PREPROCESSING);
 
     let mut out: Vec<Triangle> = Vec::new();
     let mut commons: Vec<VertexId> = Vec::new();
@@ -53,7 +54,7 @@ fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<Triangle
         }
     }
     let contracted = o.contracted();
-    ctx.end_phase("local");
+    ctx.end_phase(phases::LOCAL);
 
     // global phase: type-3 triangles
     let delta = cfg.resolve_delta(lg.num_local_entries());
@@ -105,7 +106,7 @@ fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<Triangle
     q.finish(ctx, &mut |ctx, env| {
         handler(&contracted, &owned, ctx, env, &mut out, &mut commons2)
     });
-    ctx.end_phase("global");
+    ctx.end_phase(phases::GLOBAL);
     out
 }
 

@@ -19,6 +19,7 @@ use tricount_graph::VertexId;
 use tricount_par::Pool;
 
 use crate::config::DistConfig;
+use crate::dist::phases;
 use crate::dist::{into_cells, preprocess};
 use crate::result::CountResult;
 
@@ -30,7 +31,7 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig, threads: us
     let pool = Pool::new(threads);
     preprocess(ctx, &mut lg, cfg);
     let o = lg.orient(cfg.ordering, false);
-    ctx.end_phase("preprocessing");
+    ctx.end_phase(phases::PREPROCESSING);
 
     // Edge-centric local phase: all directed (v, u) with u local, chunked.
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
@@ -62,7 +63,7 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig, threads: us
     }
     // modeled parallel time: the busiest worker
     ctx.add_work(worker_ops.iter().copied().max().unwrap_or(0));
-    ctx.end_phase("local");
+    ctx.end_phase(phases::LOCAL);
 
     // Funneled global phase — identical to single-threaded DITRIC.
     let delta = cfg.resolve_delta(lg.num_local_entries());
@@ -114,7 +115,7 @@ pub fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig, threads: us
         handler(&o, ctx, env, &mut remote_count)
     });
     let total = ctx.allreduce_sum(&[local_count + remote_count])[0];
-    ctx.end_phase("global");
+    ctx.end_phase(phases::GLOBAL);
     total
 }
 

@@ -18,6 +18,7 @@ use tricount_graph::VertexId;
 
 use crate::config::DistConfig;
 use crate::dist::into_cells;
+use crate::dist::phases;
 use crate::dist::residency::{prepare_rank, PreparedRank};
 use crate::result::LccResult;
 
@@ -87,7 +88,7 @@ pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec
         }
     }
     let contracted = &prep.contracted;
-    ctx.end_phase("local");
+    ctx.end_phase(phases::LOCAL);
 
     // Global phase: type-3 triangles, again bumping all three corners
     // (v and w are ghosts of the receiving PE).
@@ -143,7 +144,7 @@ pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec
     q.finish(ctx, &mut |ctx, env| {
         handler(&mut acc, contracted, &owned_range, ctx, env, &mut commons2)
     });
-    ctx.end_phase("global");
+    ctx.end_phase(phases::GLOBAL);
 
     // Postprocessing: ship ghost Δ contributions to their owners
     // ([id, delta] pairs), analogous to the degree exchange.
@@ -163,7 +164,7 @@ pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec
             acc.owned[(v - acc.start) as usize] += d;
         }
     }
-    ctx.end_phase("postprocess");
+    ctx.end_phase(phases::POSTPROCESS);
     acc.owned
 }
 

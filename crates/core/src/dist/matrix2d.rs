@@ -22,6 +22,7 @@ use tricount_comm::run;
 use tricount_graph::hash::FxHashSet;
 use tricount_graph::{Csr, Partition, VertexId};
 
+use crate::dist::phases;
 use crate::result::CountResult;
 
 /// One sparse block of `L`, stored row-major as `(row, cols...)` lists.
@@ -104,7 +105,7 @@ pub fn count_matrix2d(g: &Csr, p: usize) -> CountResult {
             .iter()
             .flat_map(|(r, cols)| cols.iter().map(move |&c| (*r, c)))
             .collect();
-        ctx.end_phase("preprocessing");
+        ctx.end_phase(phases::PREPROCESSING);
 
         let mut count = 0u64;
         for stage in 0..q {
@@ -172,7 +173,7 @@ pub fn count_matrix2d(g: &Csr, p: usize) -> CountResult {
             ctx.barrier();
         }
         let total = ctx.allreduce_sum(&[count])[0];
-        ctx.end_phase("global");
+        ctx.end_phase(phases::GLOBAL);
         total
     });
     CountResult {

@@ -9,6 +9,7 @@ pub mod enumerate;
 pub mod hybrid;
 pub mod lcc;
 pub mod matrix2d;
+pub mod phases;
 pub mod rebalance;
 pub mod residency;
 pub mod support;
@@ -33,24 +34,26 @@ pub fn exchange_ghost_degrees(ctx: &mut Ctx, lg: &mut LocalGraph) {
     if lg.ghosts().degrees_known() {
         return;
     }
-    let p = ctx.num_ranks();
-    let mut requests: Vec<Vec<u64>> = vec![Vec::new(); p];
-    for (rank, ids) in lg.ghost_ids_by_owner() {
-        requests[rank] = ids;
-    }
-    let incoming_requests = ctx.alltoallv(requests);
-    let responses: Vec<Vec<u64>> = incoming_requests
-        .into_iter()
-        .map(|ids| ids.into_iter().map(|v| lg.degree(v)).collect())
-        .collect();
-    let incoming_degrees = ctx.alltoallv(responses);
-    // ghost ids are sorted and ranks own contiguous id ranges, so
-    // concatenating the responses in rank order restores ghost-id order
-    let mut degrees = Vec::with_capacity(lg.ghosts().len());
-    for part in incoming_degrees {
-        degrees.extend(part);
-    }
-    lg.set_ghost_degrees(degrees);
+    ctx.with_span("ghost_degree_exchange_dense", |ctx| {
+        let p = ctx.num_ranks();
+        let mut requests: Vec<Vec<u64>> = vec![Vec::new(); p];
+        for (rank, ids) in lg.ghost_ids_by_owner() {
+            requests[rank] = ids;
+        }
+        let incoming_requests = ctx.alltoallv(requests);
+        let responses: Vec<Vec<u64>> = incoming_requests
+            .into_iter()
+            .map(|ids| ids.into_iter().map(|v| lg.degree(v)).collect())
+            .collect();
+        let incoming_degrees = ctx.alltoallv(responses);
+        // ghost ids are sorted and ranks own contiguous id ranges, so
+        // concatenating the responses in rank order restores ghost-id order
+        let mut degrees = Vec::with_capacity(lg.ghosts().len());
+        for part in incoming_degrees {
+            degrees.extend(part);
+        }
+        lg.set_ghost_degrees(degrees);
+    });
 }
 
 /// The sparse variant of the ghost degree exchange (§IV-D / Hoefler & Träff):
@@ -62,6 +65,12 @@ pub fn exchange_ghost_degrees_sparse(ctx: &mut Ctx, lg: &mut LocalGraph) {
     if lg.ghosts().degrees_known() {
         return;
     }
+    ctx.with_span("ghost_degree_exchange_sparse", |ctx| {
+        exchange_ghost_degrees_sparse_body(ctx, lg)
+    });
+}
+
+fn exchange_ghost_degrees_sparse_body(ctx: &mut Ctx, lg: &mut LocalGraph) {
     let me = ctx.rank() as u64;
     let delta = (lg.num_local_entries() as usize / 4).max(64);
     let mut q = MessageQueue::new(ctx, QueueConfig::dynamic(delta));

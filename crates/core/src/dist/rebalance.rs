@@ -17,6 +17,7 @@ use tricount_graph::{Csr, Partition, VertexId};
 
 use crate::config::{Algorithm, DistConfig};
 use crate::dist::into_cells;
+use crate::dist::phases;
 use crate::result::{CountResult, DistError};
 
 /// Moves every vertex's neighborhood to its owner under `new_part`, through
@@ -69,7 +70,7 @@ pub fn count_rebalanced(
             .take()
             .expect("local graph already taken");
         let lg = redistribute(ctx, &lg, &new_part);
-        ctx.end_phase("rebalance");
+        ctx.end_phase(phases::REBALANCE);
         match alg {
             Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => {
                 Ok(super::ditric::run_rank(ctx, lg, cfg))

@@ -19,6 +19,7 @@ use tricount_comm::{run_sim, Ctx, RunStats, SimOptions};
 use tricount_graph::dist::{ContractedGraph, DistGraph, LocalGraph, OrientedLocalGraph};
 
 use crate::config::DistConfig;
+use crate::dist::phases;
 use crate::dist::preprocess;
 
 /// One rank's resident state: the local graph with ghost degrees installed,
@@ -42,9 +43,9 @@ pub struct PreparedRank {
 /// phase, exactly like the pre-factored rank programs did.
 pub fn prepare_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> PreparedRank {
     preprocess(ctx, &mut lg, cfg);
-    let oriented = lg.orient(cfg.ordering, true);
-    ctx.end_phase("preprocessing");
-    let contracted = oriented.contracted();
+    let oriented = ctx.with_span("orient_expand", |_| lg.orient(cfg.ordering, true));
+    ctx.end_phase(phases::PREPROCESSING);
+    let contracted = ctx.with_span("contract_cut_graph", |_| oriented.contracted());
     PreparedRank {
         local: lg,
         oriented,

@@ -12,6 +12,7 @@
 //! neighborhood `N(b)`. A final `allgatherv` of `(index, support)` pairs
 //! lets every rank assemble the identical, deterministic answer vector.
 
+use crate::dist::phases;
 use tricount_comm::Ctx;
 use tricount_graph::dist::LocalGraph;
 use tricount_graph::intersect::merge_count;
@@ -81,7 +82,7 @@ pub fn edge_support_rank(
             support[pair[0] as usize] = pair[1];
         }
     }
-    ctx.end_phase("support");
+    ctx.end_phase(phases::SUPPORT);
     support
 }
 

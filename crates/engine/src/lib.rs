@@ -43,10 +43,11 @@ use tricount_core::dist::{baselines, cetric, ditric, lcc};
 use tricount_core::result::DistError;
 use tricount_graph::dist::DistGraph;
 use tricount_graph::{Csr, VertexId};
-use tricount_par::Pool;
+use tricount_obs::{LogHistogram, MetricsRegistry};
+use tricount_par::{Pool, WorkerStats};
 
 pub use query::{EngineError, Query, QueryAnswer, TicketId};
-pub use stats::{EngineStats, QueryRecord};
+pub use stats::{EngineSpan, EngineStats, QueryRecord};
 pub use workload::scripted_workload;
 
 use query::{algorithm_index, bits_for_rel_error, CachedValue, QueryKey};
@@ -100,6 +101,8 @@ impl EngineConfig {
 struct Ticket {
     id: TicketId,
     query: Query,
+    /// When the query was admitted (queue-wait latency starts here).
+    submitted: Instant,
 }
 
 /// Mutable serving counters (the raw material of [`EngineStats`]).
@@ -116,6 +119,20 @@ struct Metrics {
     modeled_seconds_total: f64,
     wall_seconds_total: f64,
     per_query: Vec<QueryRecord>,
+    /// Queue-wait latency (submit → draining tick), nanoseconds.
+    queue_wait: LogHistogram,
+    /// Wall latency of executed runs, nanoseconds.
+    run_wall: LogHistogram,
+    /// Modeled latency of executed runs, nanoseconds.
+    run_modeled: LogHistogram,
+    /// Queue depth observed at each submit.
+    queue_depth_at_submit: LogHistogram,
+    /// Tickets drained per tick.
+    batch_sizes: LogHistogram,
+    /// Accumulated intra-engine pool counters.
+    pool_workers: Vec<WorkerStats>,
+    /// Lifecycle spans (batch/admit/run/answer per tick).
+    spans: Vec<EngineSpan>,
 }
 
 /// A long-lived engine serving queries against a graph loaded once.
@@ -131,6 +148,8 @@ pub struct Engine {
     pool: Pool,
     setup_stats: RunStats,
     metrics: Metrics,
+    /// Wall-clock origin: lifecycle span stamps count from here.
+    born: Instant,
 }
 
 impl Engine {
@@ -162,7 +181,14 @@ impl Engine {
             pool,
             setup_stats,
             metrics: Metrics::default(),
+            born: Instant::now(),
         }
+    }
+
+    /// Wall nanoseconds since the engine was built.
+    #[inline]
+    fn now_nanos(&self) -> u64 {
+        self.born.elapsed().as_nanos() as u64
     }
 
     /// Number of vertices in the resident graph.
@@ -199,7 +225,14 @@ impl Engine {
         }
         let id = TicketId(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push_back(Ticket { id, query });
+        self.metrics
+            .queue_depth_at_submit
+            .record(self.pending.len() as u64);
+        self.pending.push_back(Ticket {
+            id,
+            query,
+            submitted: Instant::now(),
+        });
         self.metrics.submitted += 1;
         Ok(id)
     }
@@ -216,8 +249,12 @@ impl Engine {
         if n == 0 {
             return Vec::new();
         }
+        let batch_index = self.metrics.batches;
         self.metrics.batches += 1;
+        let tick_begin = self.now_nanos();
+        let drained_at = Instant::now();
         let batch: Vec<Ticket> = self.pending.drain(..n).collect();
+        self.metrics.batch_sizes.record(n as u64);
 
         // Normalise to cache keys; invalid queries fail without executing.
         let mut keyed: Vec<(Ticket, Result<QueryKey, EngineError>)> = batch
@@ -239,14 +276,29 @@ impl Engine {
             }
         }
 
+        let admit_end = self.now_nanos();
+
         // Concurrent execution of distinct keys (scoped threads; the
         // closure only borrows the resident state).
-        let computed: Vec<Result<(CachedValue, RunStats, f64), EngineError>> = self
+        let (task_results, pool_stats) = self
             .pool
-            .run_tasks(jobs.clone(), |_, key| self.compute(&key))
-            .into_iter()
-            .map(|tr| tr.result)
-            .collect();
+            .run_tasks_stats(jobs.clone(), |_, key| self.compute(&key));
+        let computed: Vec<Result<(CachedValue, RunStats, f64), EngineError>> =
+            task_results.into_iter().map(|tr| tr.result).collect();
+        if self.metrics.pool_workers.len() < pool_stats.workers.len() {
+            self.metrics
+                .pool_workers
+                .resize(pool_stats.workers.len(), WorkerStats::default());
+        }
+        for (acc, w) in self
+            .metrics
+            .pool_workers
+            .iter_mut()
+            .zip(&pool_stats.workers)
+        {
+            acc.absorb(w);
+        }
+        let run_end = self.now_nanos();
 
         // Fold results into cache and metrics.
         let cost = self.cfg.timing.unwrap_or_default();
@@ -262,6 +314,8 @@ impl Engine {
                         .absorb(&stats.phase_totals("preprocessing"));
                     self.metrics.modeled_seconds_total += modeled;
                     self.metrics.wall_seconds_total += wall;
+                    self.metrics.run_wall.record_seconds(wall);
+                    self.metrics.run_modeled.record_seconds(modeled);
                     run_costs.insert(key.clone(), (modeled, wall));
                     self.cache.insert((self.epoch, key), value);
                 }
@@ -278,6 +332,10 @@ impl Engine {
         let mut out = Vec::with_capacity(keyed.len());
         for (ticket, key) in keyed.drain(..) {
             let kind = ticket.query.kind();
+            let queue_seconds = drained_at
+                .saturating_duration_since(ticket.submitted)
+                .as_secs_f64();
+            self.metrics.queue_wait.record_seconds(queue_seconds);
             let mut hit = false;
             let mut modeled = 0.0;
             let mut wall = 0.0;
@@ -313,11 +371,26 @@ impl Engine {
             self.metrics.per_query.push(QueryRecord {
                 kind,
                 cache_hit: hit,
+                queue_seconds,
                 modeled_seconds: modeled,
                 wall_seconds: wall,
                 failed: answer.is_err(),
             });
             out.push((ticket.id, answer));
+        }
+        let answer_end = self.now_nanos();
+        for (label, begin_nanos, end_nanos) in [
+            ("batch", tick_begin, answer_end),
+            ("admit", tick_begin, admit_end),
+            ("run", admit_end, run_end),
+            ("answer", run_end, answer_end),
+        ] {
+            self.metrics.spans.push(EngineSpan {
+                label,
+                batch: batch_index,
+                begin_nanos,
+                end_nanos,
+            });
         }
         out
     }
@@ -366,8 +439,116 @@ impl Engine {
             query_preprocessing_comm: self.metrics.query_preprocessing_comm,
             modeled_seconds_total: self.metrics.modeled_seconds_total,
             wall_seconds_total: self.metrics.wall_seconds_total,
+            queue_wait: self.metrics.queue_wait.summary_seconds(),
+            run_wall: self.metrics.run_wall.summary_seconds(),
+            run_modeled: self.metrics.run_modeled.summary_seconds(),
+            pool: self.metrics.pool_workers.clone(),
+            spans: self.metrics.spans.clone(),
             per_query: self.metrics.per_query.clone(),
         }
+    }
+
+    /// Renders the engine's serving metrics in the Prometheus text
+    /// exposition format: counters from the snapshot, latency histograms
+    /// (with quantile gauges) from the live log-bucketed recorders, and
+    /// per-worker pool counters. Suitable for `serve --metrics-out` or a
+    /// scrape endpoint.
+    pub fn prometheus(&self) -> String {
+        let m = &self.metrics;
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "tricount_engine_submitted_total",
+            "Queries accepted by admission control",
+            m.submitted,
+        );
+        reg.counter(
+            "tricount_engine_rejected_total",
+            "Submissions rejected by admission control",
+            m.rejected,
+        );
+        reg.counter(
+            "tricount_engine_answered_total",
+            "Queries answered (including failures)",
+            m.answered,
+        );
+        reg.counter(
+            "tricount_engine_cache_hits_total",
+            "Answers served from the result cache",
+            m.cache_hits,
+        );
+        reg.counter(
+            "tricount_engine_cache_misses_total",
+            "Answers that required a distributed run",
+            m.cache_misses,
+        );
+        reg.counter("tricount_engine_batches_total", "Ticks executed", m.batches);
+        reg.gauge(
+            "tricount_engine_queue_depth",
+            "Queries waiting in the admission queue",
+            self.pending.len() as f64,
+        );
+        reg.gauge(
+            "tricount_engine_cache_entries",
+            "Live entries in the result cache",
+            self.cache.len() as f64,
+        );
+        reg.gauge(
+            "tricount_engine_epoch",
+            "Current graph epoch",
+            self.epoch as f64,
+        );
+        reg.gauge(
+            "tricount_engine_num_ranks",
+            "PEs the resident graph is partitioned over",
+            self.cfg.num_ranks as f64,
+        );
+        reg.histogram_seconds(
+            "tricount_engine_queue_wait_seconds",
+            "Queue-wait latency (submit to the tick that drained it)",
+            &m.queue_wait,
+        );
+        reg.histogram_seconds(
+            "tricount_engine_run_wall_seconds",
+            "Wall latency of executed distributed runs",
+            &m.run_wall,
+        );
+        reg.histogram_seconds(
+            "tricount_engine_run_modeled_seconds",
+            "Modeled latency of executed distributed runs",
+            &m.run_modeled,
+        );
+        reg.histogram_units(
+            "tricount_engine_queue_depth_at_submit",
+            "Queue depth observed by each accepted submission",
+            &m.queue_depth_at_submit,
+        );
+        reg.histogram_units(
+            "tricount_engine_batch_size",
+            "Tickets drained per tick",
+            &m.batch_sizes,
+        );
+        for (i, w) in m.pool_workers.iter().enumerate() {
+            let worker = [("worker", i.to_string())];
+            reg.counter_with(
+                "tricount_engine_pool_executed_total",
+                "Query tasks executed per pool worker",
+                &worker,
+                w.executed,
+            );
+            reg.counter_with(
+                "tricount_engine_pool_steals_attempted_total",
+                "Steal probes per pool worker",
+                &worker,
+                w.steals_attempted,
+            );
+            reg.counter_with(
+                "tricount_engine_pool_steals_succeeded_total",
+                "Successful steals per pool worker",
+                &worker,
+                w.steals_succeeded,
+            );
+        }
+        reg.render()
     }
 
     /// Normalises a query to its cache key, validating vertex ids.

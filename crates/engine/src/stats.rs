@@ -2,6 +2,8 @@
 //! statistics, serialisable to JSON without any external dependency.
 
 use tricount_comm::Counters;
+use tricount_obs::Summary;
+use tricount_par::WorkerStats;
 
 /// One served query, as recorded by [`Engine::tick`](crate::Engine::tick).
 #[derive(Debug, Clone)]
@@ -10,6 +12,9 @@ pub struct QueryRecord {
     pub kind: &'static str,
     /// Whether the answer came from the result cache.
     pub cache_hit: bool,
+    /// Time the query waited in the admission queue (submit → the tick
+    /// that drained it).
+    pub queue_seconds: f64,
     /// Modeled α+β+t_op time of the distributed run that produced the
     /// answer (0 for cache hits).
     pub modeled_seconds: f64,
@@ -17,6 +22,21 @@ pub struct QueryRecord {
     pub wall_seconds: f64,
     /// Whether the query failed.
     pub failed: bool,
+}
+
+/// One engine lifecycle span: a tick stage (`admit` → `run` → `answer`,
+/// under an enclosing `batch`), in wall nanoseconds since the engine was
+/// built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSpan {
+    /// Stage label: "batch", "admit", "run" or "answer".
+    pub label: &'static str,
+    /// Tick index the span belongs to (0-based).
+    pub batch: u64,
+    /// Start of the stage.
+    pub begin_nanos: u64,
+    /// End of the stage.
+    pub end_nanos: u64,
 }
 
 /// Aggregate serving statistics, snapshotted by
@@ -59,6 +79,16 @@ pub struct EngineStats {
     pub modeled_seconds_total: f64,
     /// Sum of wall times over all executed runs.
     pub wall_seconds_total: f64,
+    /// Queue-wait latency distribution (submit → draining tick).
+    pub queue_wait: Summary,
+    /// Wall latency distribution of executed runs (cache hits excluded).
+    pub run_wall: Summary,
+    /// Modeled latency distribution of executed runs.
+    pub run_modeled: Summary,
+    /// Accumulated intra-engine pool counters, indexed by worker.
+    pub pool: Vec<WorkerStats>,
+    /// Lifecycle spans of every tick (batch/admit/run/answer stages).
+    pub spans: Vec<EngineSpan>,
     /// Per-query records, in answer order.
     pub per_query: Vec<QueryRecord>,
 }
@@ -107,6 +137,23 @@ impl EngineStats {
             "wall_seconds_total",
             &json_f64(self.wall_seconds_total),
         );
+        push_field(&mut s, "queue_wait", &summary_json(&self.queue_wait));
+        push_field(&mut s, "run_wall", &summary_json(&self.run_wall));
+        push_field(&mut s, "run_modeled", &summary_json(&self.run_modeled));
+        let workers: Vec<String> = self
+            .pool
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"executed\":{},\"steals_attempted\":{},\"steals_succeeded\":{}}}",
+                    w.executed, w.steals_attempted, w.steals_succeeded
+                )
+            })
+            .collect();
+        s.push_str("\"pool\":[");
+        s.push_str(&workers.join(","));
+        s.push_str("],");
+        push_field(&mut s, "lifecycle_spans", &self.spans.len().to_string());
         let records: Vec<String> = self.per_query.iter().map(record_json).collect();
         s.push_str("\"per_query\":[");
         s.push_str(&records.join(","));
@@ -117,12 +164,26 @@ impl EngineStats {
 
 fn record_json(r: &QueryRecord) -> String {
     format!(
-        "{{\"kind\":\"{}\",\"cache_hit\":{},\"modeled_seconds\":{},\"wall_seconds\":{},\"failed\":{}}}",
+        "{{\"kind\":\"{}\",\"cache_hit\":{},\"queue_seconds\":{},\"modeled_seconds\":{},\"wall_seconds\":{},\"failed\":{}}}",
         r.kind,
         r.cache_hit,
+        json_f64(r.queue_seconds),
         json_f64(r.modeled_seconds),
         json_f64(r.wall_seconds),
         r.failed
+    )
+}
+
+/// Serialises a latency [`Summary`] as a JSON object.
+pub fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        s.count,
+        json_f64(s.mean),
+        json_f64(s.p50),
+        json_f64(s.p90),
+        json_f64(s.p99),
+        json_f64(s.max)
     )
 }
 
@@ -181,9 +242,31 @@ mod tests {
             query_preprocessing_comm: Counters::default(),
             modeled_seconds_total: 0.5,
             wall_seconds_total: 0.25,
+            queue_wait: Summary {
+                count: 1,
+                mean: 0.001,
+                p50: 0.001,
+                p90: 0.001,
+                p99: 0.001,
+                max: 0.001,
+            },
+            run_wall: Summary::default(),
+            run_modeled: Summary::default(),
+            pool: vec![WorkerStats {
+                executed: 1,
+                steals_attempted: 2,
+                steals_succeeded: 1,
+            }],
+            spans: vec![EngineSpan {
+                label: "batch",
+                batch: 0,
+                begin_nanos: 0,
+                end_nanos: 10,
+            }],
             per_query: vec![QueryRecord {
                 kind: "global",
                 cache_hit: false,
+                queue_seconds: 0.001,
                 modeled_seconds: 0.5,
                 wall_seconds: 0.25,
                 failed: false,
@@ -193,6 +276,9 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"cache_hit_rate\":0.5"));
         assert!(j.contains("\"per_query\":[{\"kind\":\"global\""));
+        assert!(j.contains("\"queue_wait\":{\"count\":1"));
+        assert!(j.contains("\"pool\":[{\"executed\":1"));
+        assert!(j.contains("\"queue_seconds\":0.001"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

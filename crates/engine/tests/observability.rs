@@ -1,0 +1,131 @@
+//! Engine observability: queue-wait latency records, pool statistics,
+//! lifecycle spans, and the Prometheus exposition endpoint.
+
+use tricount_core::config::Algorithm;
+use tricount_engine::{Engine, EngineConfig, Query};
+use tricount_obs::parse_exposition;
+
+fn small_engine(p: usize) -> Engine {
+    let g = tricount_gen::rgg2d_default(128, 3);
+    Engine::build(&g, EngineConfig::new(p))
+}
+
+#[test]
+fn per_query_records_carry_queue_wait() {
+    let mut e = small_engine(2);
+    e.submit(Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    })
+    .unwrap();
+    e.submit(Query::VertexLcc {
+        vertices: vec![0, 1],
+    })
+    .unwrap();
+    let answered = e.tick();
+    assert_eq!(answered.len(), 2);
+    let s = e.stats();
+    assert_eq!(s.per_query.len(), 2);
+    for r in &s.per_query {
+        assert!(r.queue_seconds >= 0.0);
+        assert!(r.queue_seconds < 60.0, "queue wait is sane");
+    }
+    assert_eq!(s.queue_wait.count, 2, "every answer recorded a queue wait");
+    assert!(s.queue_wait.max >= s.queue_wait.p50);
+    assert_eq!(s.run_wall.count, 2, "both keys executed (no cache hits)");
+    assert!(s.run_wall.max > 0.0);
+    assert_eq!(s.run_modeled.count, 2);
+}
+
+#[test]
+fn pool_stats_accumulate_across_ticks() {
+    let mut e = small_engine(2);
+    for _ in 0..2 {
+        e.submit(Query::GlobalTriangles {
+            algorithm: Algorithm::Cetric,
+        })
+        .unwrap();
+        e.submit(Query::ApproxTriangles {
+            max_rel_error: 0.25,
+        })
+        .unwrap();
+        e.tick();
+        e.advance_epoch();
+    }
+    let s = e.stats();
+    let executed: u64 = s.pool.iter().map(|w| w.executed).sum();
+    assert_eq!(
+        executed, 4,
+        "two distinct keys per tick, two ticks, all executed on the pool"
+    );
+    for w in &s.pool {
+        assert!(w.steals_succeeded <= w.steals_attempted);
+    }
+}
+
+#[test]
+fn lifecycle_spans_cover_every_tick() {
+    let mut e = small_engine(2);
+    e.submit(Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    })
+    .unwrap();
+    e.tick();
+    e.tick(); // empty tick: no batch, no spans
+    let s = e.stats();
+    assert_eq!(s.batches, 1, "empty ticks are not counted");
+    assert_eq!(
+        s.spans.len(),
+        4,
+        "batch/admit/run/answer per non-empty tick"
+    );
+    for span in &s.spans {
+        assert!(span.end_nanos >= span.begin_nanos);
+        assert!(["batch", "admit", "run", "answer"].contains(&span.label));
+    }
+    let batch0: Vec<_> = s.spans.iter().filter(|sp| sp.batch == 0).collect();
+    assert_eq!(batch0.len(), 4);
+    let outer = batch0.iter().find(|sp| sp.label == "batch").unwrap();
+    for sp in &batch0 {
+        assert!(sp.begin_nanos >= outer.begin_nanos);
+        assert!(sp.end_nanos <= outer.end_nanos);
+    }
+}
+
+#[test]
+fn prometheus_exposition_parses_and_carries_quantiles() {
+    let mut e = small_engine(2);
+    let q = Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    };
+    e.query(q.clone()).unwrap();
+    e.query(q).unwrap(); // cache hit
+    let text = e.prometheus();
+    let samples = parse_exposition(&text).expect("exposition parses");
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(get("tricount_engine_submitted_total"), 2.0);
+    assert_eq!(get("tricount_engine_answered_total"), 2.0);
+    assert_eq!(get("tricount_engine_cache_hits_total"), 1.0);
+    assert_eq!(get("tricount_engine_cache_misses_total"), 1.0);
+    assert_eq!(get("tricount_engine_queue_wait_seconds_count"), 2.0);
+    assert_eq!(get("tricount_engine_run_wall_seconds_count"), 1.0);
+    let p99 = samples
+        .iter()
+        .find(|s| {
+            s.name == "tricount_engine_queue_wait_seconds_quantile"
+                && s.labels.iter().any(|(k, v)| k == "q" && v == "0.99")
+        })
+        .expect("p99 quantile gauge");
+    assert!(p99.value >= 0.0);
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "tricount_engine_pool_executed_total"),
+        "per-worker pool counters present"
+    );
+}

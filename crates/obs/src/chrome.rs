@@ -1,0 +1,333 @@
+//! Chrome-trace (Perfetto-loadable) JSON export of a simulated run.
+//!
+//! The exporter renders **one track per PE** with its barrier-delimited
+//! phase spans, a nested work/communication split, flow arrows for every
+//! point-to-point message, and a buffered-words counter series — the
+//! per-PE interleaving view the paper's Fig. 5/Fig. 7 analysis needs.
+//!
+//! **Determinism.** The live `sim_clock` at receive events depends on the
+//! thread schedule (whether a poll wins a race decides which `max(clock,
+//! arrival)` is applied first), and wall stamps differ every run. Exported
+//! timelines therefore *reconstruct* all timestamps from
+//! schedule-independent data only: per-phase counter deltas priced under
+//! the cost model give the phase boundaries, `t_op·work_ops` gives each
+//! PE's work slice, and send timestamps replay each PE's `Sent` events in
+//! program order, charging `α` per message exactly like the runtime does
+//! (the matching flow arrival is `send + β·ℓ`). Receive events are ignored
+//! entirely. The same trace always renders to the same bytes, across
+//! schedule perturbations too — which the exporter tests assert.
+
+use tricount_comm::cost::CostModel;
+use tricount_comm::stats::RunStats;
+use tricount_comm::trace::{Trace, TraceEvent};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a timestamp/duration for the JSON output (plain `Display`,
+/// which is deterministic and shortest-round-trip in Rust).
+fn num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// An incremental builder of chrome-trace JSON ("trace event format").
+/// Timestamps and durations are in microseconds.
+#[derive(Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ChromeTraceBuilder::default()
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names the process `pid`.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    /// Names the thread (track) `tid` of process `pid`.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    /// A complete slice (`"X"`) on track `tid`: `[ts, ts+dur]` µs.
+    pub fn complete(&mut self, pid: u64, tid: u64, cat: &str, name: &str, ts: f64, dur: f64) {
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"cat\":\"{}\",\"name\":\"{}\",\"ts\":{},\"dur\":{}}}",
+            esc(cat),
+            esc(name),
+            num(ts),
+            num(dur)
+        ));
+    }
+
+    /// A counter sample (`"C"`): the value of `series` at `ts`.
+    pub fn counter(&mut self, pid: u64, tid: u64, name: &str, series: &str, ts: f64, value: u64) {
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\"ts\":{},\"args\":{{\"{}\":{value}}}}}",
+            esc(name),
+            num(ts),
+            esc(series)
+        ));
+    }
+
+    /// A flow-arrow start (`"s"`) bound to the slice enclosing `ts`.
+    pub fn flow_start(&mut self, id: u64, pid: u64, tid: u64, cat: &str, name: &str, ts: f64) {
+        self.events.push(format!(
+            "{{\"ph\":\"s\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\"cat\":\"{}\",\"name\":\"{}\",\"ts\":{}}}",
+            esc(cat),
+            esc(name),
+            num(ts)
+        ));
+    }
+
+    /// The matching flow-arrow end (`"f"`, binding point "enclosing").
+    pub fn flow_finish(&mut self, id: u64, pid: u64, tid: u64, cat: &str, name: &str, ts: f64) {
+        self.events.push(format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\"cat\":\"{}\",\"name\":\"{}\",\"ts\":{}}}",
+            esc(cat),
+            esc(name),
+            num(ts)
+        ));
+    }
+
+    /// Assembles the final JSON document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(&self.events.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// What [`export_run`] produced, with the counts the acceptance criteria
+/// compare.
+#[derive(Debug)]
+pub struct RunExport {
+    /// The chrome-trace JSON document.
+    pub json: String,
+    /// Number of flow arrows (message send→deliver pairs). Equals the
+    /// run's `totals().recv_messages`: every sent message is received.
+    pub flow_arrows: u64,
+    /// Number of PE tracks rendered.
+    pub tracks: usize,
+}
+
+const PID: u64 = 0;
+/// Seconds → chrome-trace microseconds.
+const US: f64 = 1e6;
+
+/// Renders a recorded run as chrome-trace JSON: one track per PE, one
+/// slice per phase with a nested work/communication split, one flow arrow
+/// per point-to-point message, and a `buffered_words` counter series from
+/// the queue's `Posted` events. See the module docs for why timestamps are
+/// reconstructed from counters rather than read off the live clock.
+pub fn export_run(trace: &Trace, stats: &RunStats, cost: &CostModel) -> RunExport {
+    let p = stats.p;
+    assert_eq!(
+        trace.per_pe.len(),
+        p,
+        "trace and stats disagree on the PE count"
+    );
+    let mut b = ChromeTraceBuilder::new();
+    b.process_name(PID, "simulated machine");
+    for r in 0..p {
+        b.thread_name(PID, r as u64, &format!("PE {r}"));
+    }
+
+    // Deterministic phase boundaries: cumulative per-phase modeled times
+    // (max over ranks, the same number `RunStats::phase_time` reports).
+    let mut bounds = Vec::with_capacity(stats.phases.len() + 1);
+    bounds.push(0.0f64);
+    for ph in &stats.phases {
+        bounds.push(bounds.last().expect("nonempty") + ph.modeled_time(cost));
+    }
+
+    // Per-PE, per-phase slices: the phase span plus a work/comm split.
+    let mut work_dur = vec![vec![0.0f64; stats.phases.len()]; p];
+    for (pi, ph) in stats.phases.iter().enumerate() {
+        let t0 = bounds[pi] * US;
+        let dur = (bounds[pi + 1] - bounds[pi]) * US;
+        for (r, c) in ph.per_rank.iter().enumerate() {
+            b.complete(PID, r as u64, "phase", &ph.name, t0, dur);
+            let work = cost.t_op * c.work_ops as f64;
+            let comm = (c.modeled_time(cost) - work).max(0.0);
+            work_dur[r][pi] = work;
+            if c.work_ops > 0 {
+                b.complete(PID, r as u64, "work", "work", t0, work * US);
+            }
+            if comm > 0.0 {
+                b.complete(PID, r as u64, "comm", "comm", t0 + work * US, comm * US);
+            }
+        }
+    }
+
+    // Flow arrows: replay each PE's Sent events in program order, charging
+    // α per message after that phase's work slice — the runtime's own
+    // sender-side rule. The arrival is send + β·ℓ on the destination track.
+    let mut flow_arrows = 0u64;
+    let mut flow_id = 0u64;
+    for (r, events) in trace.per_pe.iter().enumerate() {
+        let mut pi = 0usize;
+        let mut cum = 0.0f64; // seconds of send charges within the phase
+        for ev in events {
+            match ev {
+                TraceEvent::PhaseEnded { .. } => {
+                    // The runtime may record more phase ends than the stats
+                    // keep (an inactive trailing "rest" is dropped).
+                    if pi + 1 < stats.phases.len() {
+                        pi += 1;
+                    }
+                    cum = 0.0;
+                }
+                TraceEvent::Sent { to, words } => {
+                    cum += cost.alpha;
+                    let send_ts = bounds[pi] + work_dur[r][pi] + cum;
+                    let arrival = send_ts + cost.beta * *words as f64;
+                    flow_id += 1;
+                    flow_arrows += 1;
+                    b.flow_start(flow_id, PID, r as u64, "msg", "msg", send_ts * US);
+                    b.flow_finish(flow_id, PID, *to as u64, "msg", "msg", arrival * US);
+                }
+                TraceEvent::Posted { buffered_after, .. }
+                | TraceEvent::Relayed { buffered_after, .. } => {
+                    let ts = bounds[pi] + work_dur[r][pi] + cum;
+                    b.counter(
+                        PID,
+                        r as u64,
+                        "buffered_words",
+                        "words",
+                        ts * US,
+                        *buffered_after,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    RunExport {
+        json: b.finish(),
+        flow_arrows,
+        tracks: p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use tricount_comm::stats::{Counters, PhaseStats};
+
+    fn tiny_stats() -> RunStats {
+        let c0 = Counters {
+            work_ops: 100,
+            sent_messages: 1,
+            sent_words: 4,
+            ..Counters::default()
+        };
+        let c1 = Counters {
+            recv_messages: 1,
+            recv_words: 4,
+            ..Counters::default()
+        };
+        RunStats {
+            p: 2,
+            phases: vec![PhaseStats {
+                name: "local".to_string(),
+                per_rank: vec![c0, c1],
+            }],
+        }
+    }
+
+    fn tiny_trace() -> Trace {
+        Trace {
+            per_pe: vec![
+                vec![
+                    TraceEvent::Sent { to: 1, words: 4 },
+                    TraceEvent::PhaseEnded {
+                        name: "local".to_string(),
+                    },
+                ],
+                vec![
+                    TraceEvent::Received { from: 0, words: 4 },
+                    TraceEvent::PhaseEnded {
+                        name: "local".to_string(),
+                    },
+                ],
+            ],
+            ..Trace::default()
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_counts() {
+        let cost = CostModel::supermuc();
+        let export = export_run(&tiny_trace(), &tiny_stats(), &cost);
+        validate(&export.json).expect("valid JSON");
+        assert_eq!(export.tracks, 2);
+        assert_eq!(export.flow_arrows, 1);
+        assert!(export.json.contains("\"name\":\"PE 1\""));
+        assert!(export.json.contains("\"name\":\"local\""));
+        assert!(export.json.contains("\"ph\":\"s\""));
+        assert!(export.json.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn export_is_reproducible() {
+        let cost = CostModel::supermuc();
+        let a = export_run(&tiny_trace(), &tiny_stats(), &cost);
+        let b = export_run(&tiny_trace(), &tiny_stats(), &cost);
+        assert_eq!(a.json, b.json);
+    }
+
+    #[test]
+    fn receive_events_do_not_shift_timestamps() {
+        // Schedule-dependent data (receive order) must not affect output:
+        // add extra Received events and compare.
+        let cost = CostModel::supermuc();
+        let base = export_run(&tiny_trace(), &tiny_stats(), &cost);
+        let mut shuffled = tiny_trace();
+        shuffled.per_pe[1].insert(0, TraceEvent::Received { from: 0, words: 4 });
+        shuffled.per_pe[1].remove(1);
+        let again = export_run(&shuffled, &tiny_stats(), &cost);
+        assert_eq!(base.json, again.json);
+    }
+}

@@ -1,0 +1,303 @@
+//! Log-bucketed (HDR-style) histograms with quantile readout.
+//!
+//! The paper's evaluation reads off *distributions* — message sizes, queue
+//! depths, per-query latencies — not just sums. [`LogHistogram`] records
+//! `u64` values into buckets whose width grows geometrically: each power of
+//! two is split into `2^SUB_BITS = 8` linear sub-buckets, bounding the
+//! relative quantile error at `2^-3 = 12.5%` while keeping the bucket count
+//! fixed (≤ 496) regardless of the value range. Recording is O(1) with no
+//! allocation beyond a one-time bucket-array growth, so histograms are cheap
+//! enough to live on hot paths like the engine tick loop.
+
+/// Sub-bucket resolution: each power of two is split into `2^SUB_BITS`
+/// linear buckets.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Bucket index of a value. Values below `SUB` get exact singleton buckets;
+/// larger values share a bucket with at most 12.5% relative width.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // ≥ SUB_BITS
+    let shift = msb - SUB_BITS as usize;
+    let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+    (msb - SUB_BITS as usize + 1) * SUB + sub
+}
+
+/// Largest value falling into bucket `i` (inclusive upper bound).
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let msb = i / SUB - 1 + SUB_BITS as usize;
+    let sub = i % SUB;
+    let shift = msb - SUB_BITS as usize;
+    (((SUB + sub + 1) as u64) << shift) - 1
+}
+
+/// A fixed-relative-error histogram over `u64` values.
+///
+/// Latency consumers record nanoseconds ([`LogHistogram::record_seconds`]);
+/// size consumers record raw units (words, queue depths). Quantiles are
+/// read from bucket upper bounds clamped into the observed `[min, max]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let i = bucket_index(v);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Records a non-negative duration in seconds as whole nanoseconds.
+    pub fn record_seconds(&mut self, seconds: f64) {
+        let nanos = (seconds.max(0.0) * 1e9).round();
+        self.record(if nanos >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            nanos as u64
+        });
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) with ≤ 12.5% relative error: the
+    /// upper bound of the bucket holding the rank-`⌈q·count⌉` value,
+    /// clamped into `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// [`LogHistogram::quantile`] scaled back to seconds for
+    /// nanosecond-recorded histograms.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 * 1e-9
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+
+    /// A compact seconds-unit summary for nanosecond-recorded histograms.
+    pub fn summary_seconds(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean() * 1e-9,
+            p50: self.quantile_seconds(0.5),
+            p90: self.quantile_seconds(0.9),
+            p99: self.quantile_seconds(0.99),
+            max: self.max() as f64 * 1e-9,
+        }
+    }
+}
+
+/// Quantile summary of a nanosecond-recorded latency histogram, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    /// Number of recorded latencies.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Median (≤ 12.5% relative error, like all quantiles here).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest recorded latency (exact).
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let mut prev = None;
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            if let Some(p) = prev {
+                assert!(i == p || i == p + 1, "index jumped at {v}");
+            }
+            assert!(v <= bucket_upper(i), "v={v} above its bucket upper");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "v={v} below its bucket");
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 13);
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let exact = (q * 100_000.0) as u64;
+            let got = h.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < {exact}");
+            assert!(
+                got as f64 <= exact as f64 * 1.125 + 1.0,
+                "q={q}: {got} too far above {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_joint_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut joint = LogHistogram::new();
+        for v in 0..500u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            joint.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let mut h = LogHistogram::new();
+        h.record_seconds(0.001);
+        let q = h.quantile_seconds(0.5);
+        assert!((0.001..=0.001 * 1.125).contains(&q), "{q}");
+        let s = h.summary_seconds();
+        assert_eq!(s.count, 1);
+        assert!(s.max > 0.0009);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+        assert_eq!(h.buckets().count(), 0);
+    }
+}

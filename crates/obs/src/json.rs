@@ -1,0 +1,187 @@
+//! A minimal JSON validity checker (recursive descent, no value tree).
+//!
+//! The workspace builds with no registry access, so exporter tests cannot
+//! lean on serde; this validator is enough to assert "the chrome trace is
+//! well-formed JSON" and to extract the few counts the tests compare.
+
+/// Validates that `s` is exactly one well-formed JSON value (with optional
+/// surrounding whitespace). Returns the byte offset and message of the
+/// first error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn value(b: &[u8], i: usize) -> Result<usize, String> {
+    match b.get(i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        Some(c) => Err(format!("unexpected byte {:?} at {i}", *c as char)),
+        None => Err(format!("unexpected end of input at {i}")),
+    }
+}
+
+fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
+        Ok(i + lit.len())
+    } else {
+        Err(format!("bad literal at {i}"))
+    }
+}
+
+fn number(b: &[u8], mut i: usize) -> Result<usize, String> {
+    let start = i;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let digits = |b: &[u8], mut i: usize| -> usize {
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        i
+    };
+    let after_int = digits(b, i);
+    if after_int == i {
+        return Err(format!("bad number at {start}"));
+    }
+    i = after_int;
+    if b.get(i) == Some(&b'.') {
+        let after_frac = digits(b, i + 1);
+        if after_frac == i + 1 {
+            return Err(format!("bad fraction at {i}"));
+        }
+        i = after_frac;
+    }
+    if matches!(b.get(i), Some(b'e') | Some(b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+            i += 1;
+        }
+        let after_exp = digits(b, i);
+        if after_exp == i {
+            return Err(format!("bad exponent at {i}"));
+        }
+        i = after_exp;
+    }
+    Ok(i)
+}
+
+fn string(b: &[u8], mut i: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'"' => return Ok(i + 1),
+            b'\\' => match b.get(i + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                Some(b'u') => {
+                    if b.len() < i + 6 || !b[i + 2..i + 6].iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at {i}"));
+                    }
+                    i += 6;
+                }
+                _ => return Err(format!("bad escape at {i}")),
+            },
+            0x20.. => i += 1,
+            _ => return Err(format!("raw control byte in string at {i}")),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[u8], mut i: usize) -> Result<usize, String> {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b'}') {
+        return Ok(i + 1);
+    }
+    loop {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected object key at {i}"));
+        }
+        i = string(b, i)?;
+        i = skip_ws(b, i);
+        if b.get(i) != Some(&b':') {
+            return Err(format!("expected ':' at {i}"));
+        }
+        i = skip_ws(b, i + 1);
+        i = value(b, i)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i = skip_ws(b, i + 1),
+            Some(b'}') => return Ok(i + 1),
+            _ => return Err(format!("expected ',' or '}}' at {i}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut i: usize) -> Result<usize, String> {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b']') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = value(b, i)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i = skip_ws(b, i + 1),
+            Some(b']') => return Ok(i + 1),
+            _ => return Err(format!("expected ',' or ']' at {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_well_formed_values() {
+        for ok in [
+            "{}",
+            "[]",
+            "0",
+            "-1.5e-3",
+            "\"a\\nb\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":true}",
+            "  [1, 2, 3]  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "01a",
+            "\"unterminated",
+            "[1] trailing",
+            "nul",
+            "1.e5",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Prometheus text-exposition rendering (and a small parser for round-trip
+//! tests).
+//!
+//! [`MetricsRegistry`] collects counter/gauge/histogram families and renders
+//! them in the Prometheus text format (`# HELP` / `# TYPE` headers, then one
+//! sample per line). Histograms come from [`LogHistogram`]s and emit the
+//! standard cumulative `_bucket{le="…"}` / `_sum` / `_count` series; latency
+//! histograms additionally emit a `<name>_quantile{q="…"}` gauge family so
+//! quantiles survive scraping without server-side bucket math. Families are
+//! rendered in registration order and buckets in ascending order, so the
+//! exposition is deterministic.
+
+use crate::hist::LogHistogram;
+
+/// One parsed sample line of a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf` parses to [`f64::INFINITY`]).
+    pub value: f64,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+    /// Rendered sample lines (name + labels + value), in emit order.
+    lines: Vec<String>,
+}
+
+/// An ordered collection of metric families rendered to the Prometheus
+/// text exposition format.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Vec<Family>,
+}
+
+/// Renders an f64 the way Prometheus expects (no exponent surprises for
+/// integral values, `+Inf` spelled out).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: &'static str) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            &mut self.families[i]
+        } else {
+            self.families.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                lines: Vec::new(),
+            });
+            self.families.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Registers a monotonically increasing counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        let line = format!("{name} {value}");
+        self.family(name, help, "counter").lines.push(line);
+    }
+
+    /// Registers a labelled counter sample under the family `name`.
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: u64) {
+        let line = format!("{name}{} {value}", fmt_labels(labels));
+        self.family(name, help, "counter").lines.push(line);
+    }
+
+    /// Registers a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        let line = format!("{name} {}", fmt_value(value));
+        self.family(name, help, "gauge").lines.push(line);
+    }
+
+    /// Registers a labelled gauge sample under the family `name`.
+    pub fn gauge_with(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        let line = format!("{name}{} {}", fmt_labels(labels), fmt_value(value));
+        self.family(name, help, "gauge").lines.push(line);
+    }
+
+    /// Registers a histogram of raw units (words, depths): cumulative
+    /// `_bucket` series over the non-empty log buckets plus `_sum`/`_count`.
+    pub fn histogram_units(&mut self, name: &str, help: &str, h: &LogHistogram) {
+        self.histogram_scaled(name, help, h, 1.0);
+    }
+
+    /// Registers a nanosecond-recorded latency histogram in seconds, plus a
+    /// `<name>_quantile{q="…"}` gauge family with p50/p90/p99 readouts.
+    pub fn histogram_seconds(&mut self, name: &str, help: &str, h: &LogHistogram) {
+        self.histogram_scaled(name, help, h, 1e-9);
+        let qname = format!("{name}_quantile");
+        for (q, v) in [
+            ("0.5", h.quantile_seconds(0.5)),
+            ("0.9", h.quantile_seconds(0.9)),
+            ("0.99", h.quantile_seconds(0.99)),
+        ] {
+            self.gauge_with(
+                &qname,
+                "Quantile readout of the sibling histogram",
+                &[("q", q.to_string())],
+                v,
+            );
+        }
+    }
+
+    fn histogram_scaled(&mut self, name: &str, help: &str, h: &LogHistogram, scale: f64) {
+        let mut lines = Vec::new();
+        let mut cum = 0u64;
+        for (upper, count) in h.buckets() {
+            cum += count;
+            lines.push(format!(
+                "{name}_bucket{} {cum}",
+                fmt_labels(&[("le", fmt_value(upper as f64 * scale))])
+            ));
+        }
+        lines.push(format!(
+            "{name}_bucket{} {}",
+            fmt_labels(&[("le", "+Inf".to_string())]),
+            h.count()
+        ));
+        lines.push(format!("{name}_sum {}", fmt_value(h.sum() as f64 * scale)));
+        lines.push(format!("{name}_count {}", h.count()));
+        self.family(name, help, "histogram")
+            .lines
+            .append(&mut lines);
+    }
+
+    /// Renders the whole registry as a text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
+            for line in &f.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Parses a text exposition back into samples (comment and blank lines are
+/// skipped). Returns an error describing the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(b) => {
+            let close = line[b..]
+                .find('}')
+                .map(|i| b + i)
+                .ok_or("unterminated label set")?;
+            (&line[..b], Some((&line[b + 1..close], &line[close + 1..])))
+        }
+        None => {
+            let sp = line.find(' ').ok_or("missing value")?;
+            (&line[..sp], None)
+        }
+    };
+    let name = name_part.trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let (labels, value_str) = match rest {
+        Some((labels_str, tail)) => (parse_labels(labels_str)?, tail.trim()),
+        None => {
+            let sp = line.find(' ').ok_or("missing value")?;
+            (Vec::new(), line[sp..].trim())
+        }
+    };
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        s => s.parse::<f64>().map_err(|_| format!("bad value {s:?}"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(out);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key:?}: expected opening quote"));
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => val.push('\\'),
+                    Some('"') => val.push('"'),
+                    Some('n') => val.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        out.push((key.trim().to_string(), val));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 200, 300, 10_000] {
+            h.record(v);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.counter("tc_queries_total", "Queries answered", 42);
+        reg.gauge("tc_modeled_seconds", "Modeled time", 0.125);
+        reg.gauge_with(
+            "tc_phase_seconds",
+            "Per-phase modeled time",
+            &[("phase", "local".to_string())],
+            0.5,
+        );
+        reg.histogram_units("tc_message_words", "Message sizes", &h);
+        let text = reg.render();
+        assert!(text.contains("# TYPE tc_message_words histogram"));
+        let samples = parse_exposition(&text).expect("parse");
+        let get = |n: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == n && s.labels.is_empty())
+                .map(|s| s.value)
+        };
+        assert_eq!(get("tc_queries_total"), Some(42.0));
+        assert_eq!(get("tc_modeled_seconds"), Some(0.125));
+        assert_eq!(get("tc_message_words_count"), Some(4.0));
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "tc_message_words_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 4.0);
+        let phase = samples
+            .iter()
+            .find(|s| s.name == "tc_phase_seconds")
+            .expect("labelled gauge");
+        assert_eq!(
+            phase.labels,
+            vec![("phase".to_string(), "local".to_string())]
+        );
+    }
+
+    #[test]
+    fn latency_histogram_exposes_quantiles() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record_seconds(0.002);
+        }
+        for _ in 0..10 {
+            h.record_seconds(0.1);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_seconds("tc_query_wall_seconds", "Query wall latency", &h);
+        let text = reg.render();
+        let samples = parse_exposition(&text).expect("parse");
+        let p50 = samples
+            .iter()
+            .find(|s| {
+                s.name == "tc_query_wall_seconds_quantile"
+                    && s.labels.iter().any(|(k, v)| k == "q" && v == "0.5")
+            })
+            .expect("p50 present");
+        assert!((0.0019..0.0024).contains(&p50.value), "{}", p50.value);
+        let p99 = samples
+            .iter()
+            .find(|s| {
+                s.name == "tc_query_wall_seconds_quantile"
+                    && s.labels.iter().any(|(k, v)| k == "q" && v == "0.99")
+            })
+            .expect("p99 present");
+        assert!(p99.value > 0.05, "{}", p99.value);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_exposition("metric_without_value").is_err());
+        assert!(parse_exposition("m{le=\"unterminated} 1").is_err());
+        assert!(parse_exposition("bad name 1").is_err());
+        assert!(parse_exposition("m nanvalue").is_err());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let mut h = LogHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 17 % 4096);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_units("m", "h", &h);
+        let samples = parse_exposition(&reg.render()).expect("parse");
+        let mut prev = 0.0;
+        for s in samples.iter().filter(|s| s.name == "m_bucket") {
+            assert!(s.value >= prev, "cumulative count decreased");
+            prev = s.value;
+        }
+        assert_eq!(prev, 1000.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Human-readable profile reports and registry population from run data.
+//!
+//! Everything here consumes the schedule-independent [`RunStats`] counters
+//! (plus, optionally, the recorded trace) — the same data the chrome
+//! exporter uses — and renders either a fixed-width phase table for the
+//! terminal or a [`MetricsRegistry`] for Prometheus scraping.
+
+use tricount_comm::cost::CostModel;
+use tricount_comm::stats::RunStats;
+use tricount_comm::trace::{SpanKind, Trace, TraceEvent};
+
+use crate::hist::LogHistogram;
+use crate::prom::MetricsRegistry;
+
+/// Message-size and queue-depth distributions extracted from a trace.
+#[derive(Debug, Default)]
+pub struct CommHistograms {
+    /// Words per point-to-point message (`Sent` events).
+    pub message_words: LogHistogram,
+    /// Buffered words after each queue post (`Posted`/`Relayed` events) —
+    /// the aggregation-queue depth the §IV-A memory lemma bounds.
+    pub queue_depth_words: LogHistogram,
+}
+
+/// Builds the communication histograms from a recorded trace.
+pub fn comm_histograms(trace: &Trace) -> CommHistograms {
+    let mut out = CommHistograms::default();
+    for events in &trace.per_pe {
+        for ev in events {
+            match ev {
+                TraceEvent::Sent { words, .. } => out.message_words.record(*words),
+                TraceEvent::Posted { buffered_after, .. }
+                | TraceEvent::Relayed { buffered_after, .. } => {
+                    out.queue_depth_words.record(*buffered_after)
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Per-phase wall time: max over PEs of the i-th phase span's wall
+/// duration (None when the trace carries no span for that phase).
+fn phase_wall_ms(trace: &Trace, phase_index: usize, name: &str) -> Option<f64> {
+    let mut max = None;
+    for spans in &trace.spans {
+        let span = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Phase)
+            .nth(phase_index)?;
+        if span.label != name {
+            return None;
+        }
+        let ms = span.wall_seconds() * 1e3;
+        max = Some(max.map_or(ms, |m: f64| m.max(ms)));
+    }
+    max
+}
+
+/// Renders the per-phase breakdown table: modeled time, measured wall time
+/// (traced runs), message/volume/work maxima — the numbers behind the
+/// paper's Fig. 5-style analysis.
+pub fn phase_report(stats: &RunStats, trace: Option<&Trace>, cost: &CostModel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("phase breakdown (p = {})\n", stats.p));
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>12} {:>10} {:>14} {:>12} {:>14}\n",
+        "phase", "modeled ms", "wall ms", "max msgs", "bottleneck wds", "work ops", "peak buffered"
+    ));
+    for (pi, ph) in stats.phases.iter().enumerate() {
+        let wall = trace
+            .and_then(|t| phase_wall_ms(t, pi, &ph.name))
+            .map_or("-".to_string(), |ms| format!("{ms:.3}"));
+        out.push_str(&format!(
+            "{:<16} {:>12.3} {:>12} {:>10} {:>14} {:>12} {:>14}\n",
+            ph.name,
+            ph.modeled_time(cost) * 1e3,
+            wall,
+            ph.max_sent_messages(),
+            ph.bottleneck_volume(),
+            ph.total_work(),
+            ph.max_peak_buffered(),
+        ));
+    }
+    out.push_str(&format!(
+        "total modeled: {:.3} ms",
+        stats.modeled_time(cost) * 1e3
+    ));
+    let makespan = stats.makespan();
+    if makespan > 0.0 {
+        out.push_str(&format!(
+            " | overlap-aware makespan: {:.3} ms",
+            makespan * 1e3
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a per-label span summary (count, total wall ms, total simulated
+/// ms) aggregated over all PEs, in first-appearance order.
+pub fn span_summary(trace: &Trace) -> String {
+    // (kind name, label) -> (count, wall s, sim s); Vec keeps label order
+    // deterministic without relying on hash iteration.
+    type SpanAgg = ((&'static str, String), (u64, f64, f64));
+    let mut rows: Vec<SpanAgg> = Vec::new();
+    for spans in &trace.spans {
+        for s in spans {
+            let key = (s.kind.name(), s.label.clone());
+            match rows.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, acc)) => {
+                    acc.0 += 1;
+                    acc.1 += s.wall_seconds();
+                    acc.2 += s.sim_seconds();
+                }
+                None => rows.push((key, (1, s.wall_seconds(), s.sim_seconds()))),
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<20} {:>8} {:>14} {:>14}\n",
+        "kind", "label", "count", "wall ms", "sim ms"
+    ));
+    for ((kind, label), (count, wall, sim)) in rows {
+        out.push_str(&format!(
+            "{:<12} {:<20} {:>8} {:>14.3} {:>14.3}\n",
+            kind,
+            label,
+            count,
+            wall * 1e3,
+            sim * 1e3
+        ));
+    }
+    out
+}
+
+/// Populates a [`MetricsRegistry`] from a run's statistics (and, when a
+/// trace is available, its message-size/queue-depth histograms).
+pub fn run_metrics(stats: &RunStats, cost: &CostModel, trace: Option<&Trace>) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let t = stats.totals();
+    reg.gauge(
+        "tricount_run_pes",
+        "Number of simulated PEs",
+        stats.p as f64,
+    );
+    reg.counter(
+        "tricount_run_sent_messages_total",
+        "Point-to-point messages sent",
+        t.sent_messages,
+    );
+    reg.counter(
+        "tricount_run_sent_words_total",
+        "Words sent point-to-point",
+        t.sent_words,
+    );
+    reg.counter(
+        "tricount_run_recv_messages_total",
+        "Point-to-point messages received",
+        t.recv_messages,
+    );
+    reg.counter(
+        "tricount_run_work_ops_total",
+        "Metered local work operations",
+        t.work_ops,
+    );
+    reg.gauge(
+        "tricount_run_modeled_seconds",
+        "Modeled run time under the cost model",
+        stats.modeled_time(cost),
+    );
+    reg.gauge(
+        "tricount_run_makespan_seconds",
+        "Overlap-aware makespan (0 in untimed runs)",
+        stats.makespan(),
+    );
+    reg.gauge(
+        "tricount_run_max_sent_messages",
+        "Per-PE message-count bottleneck",
+        stats.max_sent_messages() as f64,
+    );
+    reg.gauge(
+        "tricount_run_bottleneck_words",
+        "Per-PE send-volume bottleneck",
+        stats.bottleneck_volume() as f64,
+    );
+    for ph in &stats.phases {
+        reg.gauge_with(
+            "tricount_phase_modeled_seconds",
+            "Per-phase modeled time",
+            &[("phase", ph.name.clone())],
+            ph.modeled_time(cost),
+        );
+    }
+    if let Some(trace) = trace {
+        let h = comm_histograms(trace);
+        reg.histogram_units(
+            "tricount_message_words",
+            "Point-to-point message sizes in words",
+            &h.message_words,
+        );
+        reg.histogram_units(
+            "tricount_queue_depth_words",
+            "Aggregation-queue depth after each post",
+            &h.queue_depth_words,
+        );
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::parse_exposition;
+    use tricount_comm::stats::{Counters, PhaseStats};
+    use tricount_comm::trace::{SpanRecord, SpanStamp};
+
+    fn stats() -> RunStats {
+        RunStats {
+            p: 1,
+            phases: vec![PhaseStats {
+                name: "local".to_string(),
+                per_rank: vec![Counters {
+                    work_ops: 10,
+                    sent_messages: 2,
+                    sent_words: 8,
+                    recv_messages: 2,
+                    recv_words: 8,
+                    ..Counters::default()
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn phase_report_renders_all_phases() {
+        let rep = phase_report(&stats(), None, &CostModel::supermuc());
+        assert!(rep.contains("local"));
+        assert!(rep.contains("total modeled"));
+    }
+
+    #[test]
+    fn phase_report_includes_wall_time_from_spans() {
+        let trace = Trace {
+            per_pe: vec![Vec::new()],
+            spans: vec![vec![SpanRecord {
+                kind: SpanKind::Phase,
+                label: "local".to_string(),
+                begin: SpanStamp {
+                    sim: 0.0,
+                    wall_nanos: 0,
+                },
+                end: SpanStamp {
+                    sim: 0.0,
+                    wall_nanos: 2_000_000,
+                },
+            }]],
+        };
+        let rep = phase_report(&stats(), Some(&trace), &CostModel::supermuc());
+        assert!(rep.contains("2.000"), "{rep}");
+        let summary = span_summary(&trace);
+        assert!(summary.contains("phase"));
+        assert!(summary.contains("local"));
+    }
+
+    #[test]
+    fn run_metrics_render_and_parse() {
+        let trace = Trace {
+            per_pe: vec![vec![
+                TraceEvent::Sent { to: 0, words: 4 },
+                TraceEvent::Posted {
+                    dest: 0,
+                    hop: 0,
+                    payload_words: 3,
+                    payload_hash: 1,
+                    buffered_after: 5,
+                },
+            ]],
+            ..Trace::default()
+        };
+        let reg = run_metrics(&stats(), &CostModel::supermuc(), Some(&trace));
+        let samples = parse_exposition(&reg.render()).expect("parse");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "tricount_run_sent_messages_total" && s.value == 2.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "tricount_message_words_count" && s.value == 1.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "tricount_phase_modeled_seconds"));
+    }
+}

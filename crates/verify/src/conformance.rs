@@ -88,6 +88,13 @@ pub enum Violation {
         /// Human-readable description of the imbalance.
         detail: String,
     },
+    /// A PE ended a phase whose name is not in the registered vocabulary.
+    UnregisteredPhase {
+        /// The PE that ended the rogue phase.
+        pe: usize,
+        /// The unregistered phase name.
+        name: String,
+    },
     /// Metered point-to-point words disagree with the traced words.
     MeterMismatch {
         /// The PE whose counters disagree.
@@ -145,6 +152,10 @@ impl fmt::Display for Violation {
             Violation::UnbalancedCollective { pe, detail } => {
                 write!(f, "PE {pe}: unbalanced collective ({detail})")
             }
+            Violation::UnregisteredPhase { pe, name } => write!(
+                f,
+                "PE {pe} ended phase '{name}', which is not in the registered phase vocabulary"
+            ),
             Violation::MeterMismatch {
                 pe,
                 direction,
@@ -477,6 +488,28 @@ pub fn check_meters(trace: &Trace, stats: &RunStats) -> Vec<Violation> {
     violations
 }
 
+/// Invariant 7 — closed phase vocabulary: every `PhaseEnded` event must
+/// carry a name from `registry` (the central list in
+/// `tricount_core::dist::phases::ALL`). A name outside the registry means a
+/// driver bypassed the registry module, so exporters and dashboards keyed
+/// on phase names would silently miss it.
+pub fn check_phase_names(trace: &Trace, registry: &[&str]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (pe, events) in trace.per_pe.iter().enumerate() {
+        for e in events {
+            if let TraceEvent::PhaseEnded { name } = e {
+                if !registry.contains(&name.as_str()) {
+                    violations.push(Violation::UnregisteredPhase {
+                        pe,
+                        name: name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
 /// Runs every invariant (1–5) over a traced simulation output. Panics if
 /// the run was not traced (`SimOptions::record_trace` unset or the `trace`
 /// feature missing) — calling the linter without a trace is a harness bug.
@@ -518,6 +551,13 @@ mod tests {
         TraceEvent::QueueConfigured { delta, grid }
     }
 
+    fn trace_of(per_pe: Vec<Vec<TraceEvent>>) -> Trace {
+        Trace {
+            per_pe,
+            ..Trace::default()
+        }
+    }
+
     #[test]
     fn empty_trace_is_clean() {
         let rep = check_trace(&Trace::default());
@@ -526,12 +566,11 @@ mod tests {
 
     #[test]
     fn matched_post_and_delivery_is_clean() {
-        let trace = Trace {
-            per_pe: vec![
-                vec![queue(Some(8), false), posted(1, &[42, 43], 4)],
-                vec![queue(Some(8), false), delivered(&[42, 43])],
-            ],
-        };
+        let trace = trace_of(vec![
+            vec![queue(Some(8), false), posted(1, &[42, 43], 4)],
+            vec![queue(Some(8), false), delivered(&[42, 43])],
+        ]);
+
         let rep = check_trace(&trace);
         assert!(rep.is_clean(), "{rep}");
         assert_eq!(rep.envelopes_posted, 1);
@@ -540,9 +579,11 @@ mod tests {
 
     #[test]
     fn missing_delivery_detected() {
-        let trace = Trace {
-            per_pe: vec![vec![queue(Some(8), false), posted(1, &[9], 3)], vec![]],
-        };
+        let trace = trace_of(vec![
+            vec![queue(Some(8), false), posted(1, &[9], 3)],
+            vec![],
+        ]);
+
         let rep = check_trace(&trace);
         assert!(matches!(
             rep.violations.as_slice(),
@@ -556,12 +597,11 @@ mod tests {
 
     #[test]
     fn double_delivery_detected() {
-        let trace = Trace {
-            per_pe: vec![
-                vec![queue(Some(8), false), posted(1, &[9], 3)],
-                vec![delivered(&[9]), delivered(&[9])],
-            ],
-        };
+        let trace = trace_of(vec![
+            vec![queue(Some(8), false), posted(1, &[9], 3)],
+            vec![delivered(&[9]), delivered(&[9])],
+        ]);
+
         let rep = check_trace(&trace);
         assert!(matches!(
             rep.violations.as_slice(),
@@ -576,16 +616,15 @@ mod tests {
     #[test]
     fn memory_bound_breach_detected() {
         // δ=4, record = 2+1 = 3 words; buffered_after 10 > 4+3
-        let trace = Trace {
-            per_pe: vec![
-                vec![
-                    queue(Some(4), false),
-                    posted(1, &[1], 3),
-                    posted(1, &[2], 10),
-                ],
-                vec![delivered(&[1]), delivered(&[2])],
+        let trace = trace_of(vec![
+            vec![
+                queue(Some(4), false),
+                posted(1, &[1], 3),
+                posted(1, &[2], 10),
             ],
-        };
+            vec![delivered(&[1]), delivered(&[2])],
+        ]);
+
         let rep = check_trace(&trace);
         assert!(rep.violations.iter().any(|v| matches!(
             v,
@@ -599,12 +638,11 @@ mod tests {
 
     #[test]
     fn static_aggregation_exempt_from_memory_bound() {
-        let trace = Trace {
-            per_pe: vec![
-                vec![queue(None, false), posted(1, &[1], 1_000_000)],
-                vec![delivered(&[1])],
-            ],
-        };
+        let trace = trace_of(vec![
+            vec![queue(None, false), posted(1, &[1], 1_000_000)],
+            vec![delivered(&[1])],
+        ]);
+
         assert!(check_trace(&trace).is_clean());
     }
 
@@ -618,7 +656,7 @@ mod tests {
             TraceEvent::Flushed { peer: 1, words: 4 },
             TraceEvent::Flushed { peer: 5, words: 4 },
         ];
-        let rep = check_trace(&Trace { per_pe });
+        let rep = check_trace(&trace_of(per_pe));
         assert!(matches!(
             rep.violations.as_slice(),
             [Violation::GridFanout { pe: 0, peer: 5 }]
@@ -630,18 +668,17 @@ mod tests {
     fn epoch_skew_detected() {
         let enter = |k| TraceEvent::CollEnter { kind: k };
         let exit = |k| TraceEvent::CollExit { kind: k };
-        let trace = Trace {
-            per_pe: vec![
-                vec![
-                    enter(CollKind::Barrier),
-                    exit(CollKind::Barrier),
-                    enter(CollKind::AllreduceSum),
-                    exit(CollKind::AllreduceSum),
-                ],
-                // PE 1 skips the barrier
-                vec![enter(CollKind::AllreduceSum), exit(CollKind::AllreduceSum)],
+        let trace = trace_of(vec![
+            vec![
+                enter(CollKind::Barrier),
+                exit(CollKind::Barrier),
+                enter(CollKind::AllreduceSum),
+                exit(CollKind::AllreduceSum),
             ],
-        };
+            // PE 1 skips the barrier
+            vec![enter(CollKind::AllreduceSum), exit(CollKind::AllreduceSum)],
+        ]);
+
         let rep = check_trace(&trace);
         assert!(matches!(
             rep.violations.as_slice(),
@@ -655,11 +692,10 @@ mod tests {
 
     #[test]
     fn unbalanced_collective_detected() {
-        let trace = Trace {
-            per_pe: vec![vec![TraceEvent::CollEnter {
-                kind: CollKind::Barrier,
-            }]],
-        };
+        let trace = trace_of(vec![vec![TraceEvent::CollEnter {
+            kind: CollKind::Barrier,
+        }]]);
+
         let rep = check_trace(&trace);
         assert!(matches!(
             rep.violations.as_slice(),

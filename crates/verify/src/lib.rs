@@ -7,4 +7,4 @@
 pub mod conformance;
 pub mod determinism;
 
-pub use conformance::{check_trace, ConformanceReport, Violation};
+pub use conformance::{check_phase_names, check_trace, ConformanceReport, Violation};

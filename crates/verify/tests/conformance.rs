@@ -298,6 +298,67 @@ fn mutation_meter_mismatch_caught() {
     );
 }
 
+// ---- invariant 7: closed phase vocabulary ----
+
+#[test]
+fn all_variants_emit_only_registered_phase_names() {
+    use tricount_core::dist::phases;
+    let g = rmat_default(8, 13);
+    for alg in Algorithm::all() {
+        let dg = DistGraph::new_balanced_vertices(&g, 4);
+        let (_, trace) = run_on_sim(dg, alg, &alg.config(), &SimOptions::traced())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+        let trace = trace.expect("traced");
+        let violations = tricount_verify::check_phase_names(&trace, phases::ALL);
+        assert!(
+            violations.is_empty(),
+            "{} emitted unregistered phase names: {violations:?}",
+            alg.name()
+        );
+        assert!(
+            trace
+                .per_pe
+                .iter()
+                .flatten()
+                .any(|ev| matches!(ev, TraceEvent::PhaseEnded { .. })),
+            "{} recorded no phase boundaries at all",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn mutation_rogue_phase_name_caught() {
+    use tricount_core::dist::phases;
+    let g = rmat_default(8, 13);
+    let dg = DistGraph::new_balanced_vertices(&g, 4);
+    let (_, trace) = run_on_sim(
+        dg,
+        Algorithm::Cetric,
+        &Algorithm::Cetric.config(),
+        &SimOptions::traced(),
+    )
+    .unwrap();
+    let mut trace = trace.expect("traced");
+    // rewrite one PhaseEnded to a name outside the registry, as if a driver
+    // bypassed the phases module
+    let name = trace.per_pe[2]
+        .iter_mut()
+        .find_map(|ev| match ev {
+            TraceEvent::PhaseEnded { name } => Some(name),
+            _ => None,
+        })
+        .expect("PE 2 ended a phase");
+    *name = "warmup".to_string();
+    let violations = tricount_verify::check_phase_names(&trace, phases::ALL);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnregisteredPhase { pe: 2, name } if name == "warmup")),
+        "check must flag the rogue phase name: {violations:?}"
+    );
+}
+
 /// The linter consumes traces — make sure an owned [`Trace`] round-trips
 /// through the report rendering without a panic (smoke test for Display).
 #[test]
