@@ -100,6 +100,19 @@ pub enum Command {
         /// Write the engine's Prometheus text exposition here after serving.
         metrics_out: Option<String>,
     },
+    /// Load the graph into a resident engine and stream batched edge
+    /// updates through the incremental triangle-maintenance path.
+    Update {
+        /// Input source.
+        source: Source,
+        /// Simulated PEs.
+        p: usize,
+        /// Path to the update file (`+ u v` / `- u v` lines, blank lines
+        /// separate batches).
+        batch: String,
+        /// Print the machine-readable stats snapshot after applying.
+        json: bool,
+    },
     /// Run one traced, timed count and export its profile.
     Profile {
         /// Input source.
@@ -213,6 +226,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         || verb == "info"
         || verb == "enumerate"
         || verb == "serve"
+        || verb == "update"
         || verb == "profile"
     {
         return Err("need an input: --input FILE, --family F, or --dataset D".to_string());
@@ -283,6 +297,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             json: get("json").is_some_and(|v| v == "true" || v == "1"),
             metrics_out: get("metrics-out").map(|v| v.to_string()),
         }),
+        "update" => Ok(Command::Update {
+            source,
+            p,
+            batch: get("batch")
+                .ok_or("update needs --batch FILE (`+ u v` / `- u v` lines)")?
+                .to_string(),
+            json: get("json").is_some_and(|v| v == "true" || v == "1"),
+        }),
         "profile" => {
             let algorithm = parse_algorithm(get("alg").unwrap_or("cetric"))?
                 .ok_or("profile needs a distributed algorithm (seq records no trace)")?;
@@ -315,12 +337,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 }
 
 fn usage() -> String {
-    "usage: tricount <generate|count|lcc|enumerate|info|serve|profile> \
+    "usage: tricount <generate|count|lcc|enumerate|info|serve|update|profile> \
      [--input FILE | --family gnm|rgg2d|rhg|rmat | --dataset NAME] \
      [--n N] [--seed S] [--p P] [--alg A] [--model supermuc|cloud] \
      [--routing direct|grid] [--delta-factor F] [--top K] [--limit K] \
-     [--queries Q] [--workload-seed S] [--json 1] [-o OUT] \
-     [--chrome-trace OUT.json] [--phase-report 1] [--metrics-out OUT.prom]"
+     [--queries Q] [--workload-seed S] [--batch UPDATES.txt] [--json 1] \
+     [-o OUT] [--chrome-trace OUT.json] [--phase-report 1] \
+     [--metrics-out OUT.prom]"
         .to_string()
 }
 
@@ -439,6 +462,58 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 if *count > 0 {
                     println!("  [{:>6}, {:>6}) {:>8}", 1u64 << b, 1u64 << (b + 1), count);
                 }
+            }
+        }
+        Command::Update {
+            source,
+            p,
+            batch,
+            json,
+        } => {
+            use tricount_delta::parse_batches;
+            use tricount_engine::{Engine, EngineConfig};
+            let g = load_source(&source)?;
+            let text = std::fs::read_to_string(&batch).map_err(|e| format!("{batch}: {e}"))?;
+            let batches = parse_batches(&text)?;
+            if batches.is_empty() {
+                return Err(format!("{batch}: no update operations found"));
+            }
+            let mut engine = Engine::build(&g, EngineConfig::new(p));
+            println!(
+                "resident count before updates: {} (epoch {})",
+                engine.resident_triangles(),
+                engine.epoch()
+            );
+            for (i, b) in batches.iter().enumerate() {
+                let r = engine.apply_updates(b).map_err(|e| e.to_string())?;
+                println!(
+                    "batch {i}: {} ins, {} del, {} noop | triangles {} -> {} ({:+}) | \
+                     {} words moved | overlay {:.1}%{}",
+                    r.inserted,
+                    r.deleted,
+                    r.noops,
+                    r.triangles_before,
+                    r.triangles_after,
+                    r.delta(),
+                    r.comm.sent_words + r.comm.coll_word_units,
+                    r.overlay_fraction * 100.0,
+                    if r.compacted { " | compacted" } else { "" }
+                );
+            }
+            let s = engine.stats();
+            if json {
+                println!("{}", s.to_json());
+            } else {
+                println!(
+                    "applied {} batch(es): {} insertions, {} deletions, {} no-ops, {} compaction(s)",
+                    s.updates_applied, s.edges_inserted, s.edges_deleted, s.update_noops,
+                    s.compactions
+                );
+                println!(
+                    "resident count after updates: {} (epoch {})",
+                    engine.resident_triangles(),
+                    engine.epoch()
+                );
             }
         }
         Command::Profile {
@@ -742,6 +817,37 @@ mod tests {
         let prom = std::fs::read_to_string(&path).unwrap();
         assert!(prom.contains("tricount_engine_submitted_total"));
         assert!(prom.contains("tricount_engine_queue_wait_seconds"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_and_execute_update() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("tricount_cli_updates.txt");
+        std::fs::write(&path, "# two batches\n+ 0 1\n+ 1 2\n+ 0 2\n\n- 0 1\n").unwrap();
+        let cmd = parse(&args(&format!(
+            "update --family rgg2d --n 128 --p 2 --batch {}",
+            path.display()
+        )))
+        .unwrap();
+        match &cmd {
+            Command::Update { p, batch, json, .. } => {
+                assert_eq!(*p, 2);
+                assert_eq!(batch, path.to_str().unwrap());
+                assert!(!json);
+            }
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+        // --batch is mandatory; garbage batch files are rejected
+        assert!(parse(&args("update --family gnm --n 64")).is_err());
+        std::fs::write(&path, "* nope\n").unwrap();
+        let cmd = parse(&args(&format!(
+            "update --family gnm --n 64 --batch {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(execute(cmd).is_err());
         std::fs::remove_file(path).ok();
     }
 

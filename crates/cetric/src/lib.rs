@@ -25,6 +25,10 @@
 //! * [`engine`] — the resident query engine: load a graph once, then serve
 //!   batched triangle / LCC / edge-support / approximate queries against the
 //!   prepared per-rank state with an epoch-keyed result cache.
+//! * [`delta`] — dynamic graph updates: batched edge insertions/deletions
+//!   with per-PE adjacency overlays; `Engine::apply_updates` maintains the
+//!   resident triangle count incrementally through the distributed delta
+//!   protocol in [`core`]'s `dist::delta`.
 //! * [`obs`] — observability: deterministic Chrome-trace export of recorded
 //!   runs, log-bucketed latency histograms, Prometheus text exposition, and
 //!   terminal phase reports (`tricount profile`, `serve --metrics-out`).
@@ -49,6 +53,7 @@ pub mod cli;
 pub use tricount_amq as amq;
 pub use tricount_comm as comm;
 pub use tricount_core as core;
+pub use tricount_delta as delta;
 pub use tricount_engine as engine;
 pub use tricount_gen as gen;
 pub use tricount_graph as graph;
@@ -61,7 +66,10 @@ pub mod prelude {
     pub use tricount_core::{
         count, count_with, Aggregation, Algorithm, CountResult, DistConfig, DistError,
     };
-    pub use tricount_engine::{Engine, EngineConfig, EngineError, Query, QueryAnswer};
+    pub use tricount_delta::{parse_batches, EdgeUpdate, UpdateBatch};
+    pub use tricount_engine::{
+        Engine, EngineConfig, EngineError, Query, QueryAnswer, UpdateReceipt,
+    };
     pub use tricount_gen::{Dataset, Family};
     pub use tricount_graph::{Csr, DistGraph, EdgeList, OrderingKind, Partition, VertexId};
 }

@@ -4,6 +4,7 @@
 pub mod approx;
 pub mod baselines;
 pub mod cetric;
+pub mod delta;
 pub mod ditric;
 pub mod enumerate;
 pub mod hybrid;

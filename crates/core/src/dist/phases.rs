@@ -26,6 +26,24 @@ pub const SUPPORT: &str = "support";
 /// Cost-model-driven edge re-assignment before counting.
 pub const REBALANCE: &str = "rebalance";
 
+/// Routing each update edge of a batch to the owners of its endpoints
+/// (`dist::delta`, phase 1 of an update run).
+pub const UPDATE_ROUTE: &str = "update_route";
+
+/// Incremental triangle-delta counting: deletion intersections on the
+/// pre-state, overlay application, insertion intersections on the
+/// post-state, final delta reduction (`dist::delta`, phase 2).
+pub const UPDATE_COUNT: &str = "update_count";
+
+/// Targeted ghost-degree refresh: new global degrees of the batch's
+/// touched vertices, broadcast so compaction needs no communication
+/// (`dist::delta`, phase 3).
+pub const UPDATE_GHOST_REFRESH: &str = "update_ghost_refresh";
+
+/// Overlay compaction: merging delta lists into a fresh base local graph
+/// and re-running orientation + contraction, communication-free.
+pub const COMPACTION: &str = "compaction";
+
 /// The runtime-added trailing phase covering work after the last explicit
 /// `end_phase` (named by `tricount-comm`, not by the drivers, but part of
 /// the vocabulary consumers see in `RunStats`).
@@ -39,6 +57,10 @@ pub const ALL: &[&str] = &[
     POSTPROCESS,
     SUPPORT,
     REBALANCE,
+    UPDATE_ROUTE,
+    UPDATE_COUNT,
+    UPDATE_GHOST_REFRESH,
+    COMPACTION,
     REST,
 ];
 

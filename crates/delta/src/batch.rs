@@ -1,0 +1,332 @@
+//! Edge-update batches and their canonical form.
+//!
+//! A batch is a **set** of desired undirected edge mutations: order within
+//! a batch does not matter. Canonicalisation normalises every edge to
+//! `u < v`, drops self-loops, collapses duplicate mentions of the same
+//! edge, and cancels an insert + delete of the same edge to a no-op (the
+//! edge is left as it was). Whether a surviving operation actually changes
+//! the graph ("effectiveness" — inserting an edge that already exists is a
+//! no-op) is decided against the live adjacency by the distributed
+//! protocol, not here.
+
+use tricount_graph::{Csr, VertexId};
+
+/// One requested undirected edge mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeUpdate {
+    /// Insert the undirected edge `{0, 1}` (no-op if present).
+    Insert(VertexId, VertexId),
+    /// Delete the undirected edge `{0, 1}` (no-op if absent).
+    Delete(VertexId, VertexId),
+}
+
+impl EdgeUpdate {
+    /// The endpoints, as written.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            EdgeUpdate::Insert(u, v) | EdgeUpdate::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeUpdate::Insert(..))
+    }
+}
+
+/// A batch of edge updates, as submitted (possibly redundant).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// The requested operations, in submission order.
+    pub ops: Vec<EdgeUpdate>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an insertion of `{u, v}`.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) {
+        self.ops.push(EdgeUpdate::Insert(u, v));
+    }
+
+    /// Appends a deletion of `{u, v}`.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) {
+        self.ops.push(EdgeUpdate::Delete(u, v));
+    }
+
+    /// Number of requested operations (before canonicalisation).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The largest vertex id mentioned, if any (for validation).
+    pub fn max_vertex(&self) -> Option<VertexId> {
+        self.ops
+            .iter()
+            .map(|op| {
+                let (u, v) = op.endpoints();
+                u.max(v)
+            })
+            .max()
+    }
+
+    /// Canonicalises the batch: normalises edges to `u < v`, drops
+    /// self-loops, collapses duplicates, and cancels insert + delete of
+    /// the same edge. The result mentions each edge at most once, sorted
+    /// by `(u, v)`.
+    pub fn canonicalize(&self) -> CanonicalBatch {
+        use std::collections::BTreeMap;
+        let mut seen: BTreeMap<(VertexId, VertexId), (bool, bool)> = BTreeMap::new();
+        for op in &self.ops {
+            let (a, b) = op.endpoints();
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            let entry = seen.entry(key).or_insert((false, false));
+            if op.is_insert() {
+                entry.0 = true;
+            } else {
+                entry.1 = true;
+            }
+        }
+        let ops = seen
+            .into_iter()
+            .filter_map(|((u, v), (ins, del))| match (ins, del) {
+                (true, false) => Some(CanonicalOp { insert: true, u, v }),
+                (false, true) => Some(CanonicalOp {
+                    insert: false,
+                    u,
+                    v,
+                }),
+                // both mentioned: they cancel; neither: unreachable
+                _ => None,
+            })
+            .collect();
+        CanonicalBatch { ops }
+    }
+}
+
+/// One canonical operation: `u < v`, each edge at most once per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonicalOp {
+    /// `true` = insert, `false` = delete.
+    pub insert: bool,
+    /// Smaller endpoint (the edge's canonical tail).
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+}
+
+/// A canonicalised batch: ops sorted by `(u, v)`, duplicate-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CanonicalBatch {
+    /// The surviving operations.
+    pub ops: Vec<CanonicalOp>,
+}
+
+impl CanonicalBatch {
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of canonical operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Parses the update text format: one op per line (`+ u v` inserts,
+/// `- u v` deletes, `#` starts a comment), blank lines separate batches.
+/// Returns the non-empty batches in file order.
+pub fn parse_batches(text: &str) -> Result<Vec<UpdateBatch>, String> {
+    let mut batches = Vec::new();
+    let mut cur = UpdateBatch::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            if !cur.is_empty() {
+                batches.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let sign = it.next().expect("non-empty line has a first token");
+        let parse_v = |tok: Option<&str>| -> Result<VertexId, String> {
+            tok.ok_or_else(|| format!("line {}: expected two vertex ids", lineno + 1))?
+                .parse::<VertexId>()
+                .map_err(|e| format!("line {}: bad vertex id: {e}", lineno + 1))
+        };
+        let u = parse_v(it.next())?;
+        let v = parse_v(it.next())?;
+        if it.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 1));
+        }
+        match sign {
+            "+" => cur.insert(u, v),
+            "-" => cur.delete(u, v),
+            other => {
+                return Err(format!(
+                    "line {}: expected '+' or '-', got {other:?}",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    Ok(batches)
+}
+
+/// Applies a canonical batch to a full CSR graph, the from-scratch
+/// reference the incremental path is tested against. Inserting a present
+/// edge and deleting an absent one are no-ops, exactly like the
+/// distributed protocol's effectiveness filter.
+pub fn apply_to_csr(g: &Csr, batch: &CanonicalBatch) -> Csr {
+    let n = g.num_vertices();
+    let mut lists: Vec<Vec<VertexId>> = (0..n).map(|v| g.neighbors(v).to_vec()).collect();
+    for op in &batch.ops {
+        let (u, v) = (op.u as usize, op.v as usize);
+        assert!(op.v < n, "update touches vertex {} outside graph", op.v);
+        if op.insert {
+            if let Err(pos) = lists[u].binary_search(&op.v) {
+                lists[u].insert(pos, op.v);
+                let pos = lists[v].binary_search(&op.u).unwrap_err();
+                lists[v].insert(pos, op.u);
+            }
+        } else if let Ok(pos) = lists[u].binary_search(&op.v) {
+            lists[u].remove(pos);
+            let pos = lists[v].binary_search(&op.u).unwrap();
+            lists[v].remove(pos);
+        }
+    }
+    Csr::from_neighbor_lists(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_normalises_dedups_and_cancels() {
+        let mut b = UpdateBatch::new();
+        b.insert(5, 2); // normalised to (2, 5)
+        b.insert(2, 5); // duplicate
+        b.delete(9, 9); // self-loop dropped
+        b.delete(7, 1); // (1, 7)
+        b.insert(1, 7); // cancels with the delete
+        b.insert(0, 3);
+        let c = b.canonicalize();
+        assert_eq!(
+            c.ops,
+            vec![
+                CanonicalOp {
+                    insert: true,
+                    u: 0,
+                    v: 3
+                },
+                CanonicalOp {
+                    insert: true,
+                    u: 2,
+                    v: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_roundtrips_batches() {
+        let text = "# first batch\n+ 0 1\n- 2 3\n\n\n+ 4 5\n";
+        let batches = parse_batches(text).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(
+            batches[0].ops,
+            vec![EdgeUpdate::Insert(0, 1), EdgeUpdate::Delete(2, 3)]
+        );
+        assert_eq!(batches[1].ops, vec![EdgeUpdate::Insert(4, 5)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_batches("* 1 2").is_err());
+        assert!(parse_batches("+ 1").is_err());
+        assert!(parse_batches("+ 1 2 3").is_err());
+        assert!(parse_batches("+ 1 x").is_err());
+    }
+
+    #[test]
+    fn apply_to_csr_matches_manual_edit() {
+        let g = tricount_gen::rgg2d_default(64, 7);
+        let (a, b) = {
+            // an existing edge to delete
+            let v = (0..64u64)
+                .find(|&v| !g.neighbors(v).is_empty())
+                .expect("generator produced edges");
+            (v, g.neighbors(v)[0])
+        };
+        let (x, y) = {
+            // an absent edge to insert
+            let mut found = None;
+            'outer: for x in 0..64u64 {
+                for y in (x + 1)..64 {
+                    if !g.has_edge(x, y) {
+                        found = Some((x, y));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("graph is not complete")
+        };
+        let mut batch = UpdateBatch::new();
+        batch.delete(a, b);
+        batch.insert(x, y);
+        batch.insert(x, y); // duplicate, collapsed
+        let g2 = apply_to_csr(&g, &batch.canonicalize());
+        assert!(!g2.has_edge(a, b));
+        assert!(!g2.has_edge(b, a));
+        assert!(g2.has_edge(x, y));
+        assert!(g2.has_edge(y, x));
+        assert_eq!(g2.num_edges(), g.num_edges()); // one out, one in
+    }
+
+    #[test]
+    fn noop_updates_leave_graph_identical() {
+        let g = tricount_gen::rgg2d_default(64, 3);
+        let mut batch = UpdateBatch::new();
+        // delete an absent edge, insert a present one
+        let v = (0..64u64)
+            .find(|&v| !g.neighbors(v).is_empty())
+            .expect("edges exist");
+        let u = g.neighbors(v)[0];
+        batch.insert(v, u);
+        let mut absent = None;
+        'outer: for x in 0..64u64 {
+            for y in (x + 1)..64 {
+                if !g.has_edge(x, y) {
+                    absent = Some((x, y));
+                    break 'outer;
+                }
+            }
+        }
+        let (x, y) = absent.unwrap();
+        batch.delete(x, y);
+        let g2 = apply_to_csr(&g, &batch.canonicalize());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..64u64 {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Deterministic update-workload generation for benches, examples and
+//! tests.
+
+use tricount_graph::{Csr, VertexId};
+
+use crate::batch::UpdateBatch;
+
+/// SplitMix64 — the same tiny deterministic generator style the rest of
+/// the workspace uses for seeding; good enough for workload shapes.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates a mixed insert/delete batch of `ops` operations against the
+/// *current* graph `g`: random vertex pairs, inserting when the edge is
+/// absent and deleting when it is present — so batches naturally mix both
+/// kinds with the graph's density. Deterministic in `seed`. The returned
+/// batch may still contain duplicates and (after earlier ops in the same
+/// batch) no-ops; that is intentional — canonicalisation and the
+/// protocol's effectiveness filter are part of what callers exercise.
+pub fn random_batch(g: &Csr, ops: usize, seed: u64) -> UpdateBatch {
+    let n = g.num_vertices();
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = seed ^ 0xd1f7_5329_8e5a_b9d3;
+    let mut batch = UpdateBatch::new();
+    while batch.len() < ops {
+        let u = splitmix64(&mut rng) % n;
+        let v = splitmix64(&mut rng) % n;
+        if u == v {
+            continue;
+        }
+        let (u, v): (VertexId, VertexId) = (u.min(v), u.max(v));
+        if g.has_edge(u, v) {
+            batch.delete(u, v);
+        } else {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_batch_is_deterministic_and_mixed() {
+        let g = tricount_gen::rgg2d_default(200, 13);
+        let a = random_batch(&g, 50, 7);
+        let b = random_batch(&g, 50, 7);
+        assert_eq!(a, b, "same seed, same batch");
+        let c = random_batch(&g, 50, 8);
+        assert_ne!(a, c, "different seed, different batch");
+        assert_eq!(a.len(), 50);
+        let canon = a.canonicalize();
+        assert!(!canon.is_empty());
+        let inserts = canon.ops.iter().filter(|o| o.insert).count();
+        let deletes = canon.len() - inserts;
+        assert!(inserts > 0 && deletes > 0, "workload mixes both kinds");
+    }
+}

@@ -23,6 +23,16 @@
 //! run executes under the deadlock watchdog (`tricount_comm::run_guarded`),
 //! so a wedged query surfaces as [`EngineError::Dist`] carrying the
 //! wait-for-graph report instead of taking the server down.
+//!
+//! The graph itself is **dynamic**: [`Engine::apply_updates`] applies a
+//! batched set of edge insertions/deletions through the distributed delta
+//! protocol (`tricount_core::dist::delta`), maintaining the resident
+//! triangle count ([`Engine::resident_triangles`]) incrementally instead
+//! of recounting, advancing the epoch, and compacting the per-rank
+//! adjacency overlays back into fresh prepared state once they exceed
+//! [`EngineConfig::compaction_fraction`] of the base size. Queries always
+//! see the updated graph: a tick compacts pending overlays first
+//! (read-your-writes).
 
 #![warn(missing_docs)]
 
@@ -31,16 +41,18 @@ mod stats;
 pub mod workload;
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tricount_comm::{run_guarded, CostModel, Counters, Ctx, RunStats, SimOptions};
+use tricount_comm::{run_guarded, run_sim, CostModel, Counters, Ctx, RunStats, SimOptions};
 use tricount_core::config::{Algorithm, DistConfig};
 use tricount_core::dist::approx::{approx_prepared, ApproxConfig, FilterKind};
+use tricount_core::dist::delta as delta_dist;
 use tricount_core::dist::residency::{build_residency, PreparedRank};
 use tricount_core::dist::support::edge_support_rank;
 use tricount_core::dist::{baselines, cetric, ditric, lcc};
 use tricount_core::result::DistError;
+use tricount_delta::{Overlay, UpdateBatch};
 use tricount_graph::dist::DistGraph;
 use tricount_graph::{Csr, VertexId};
 use tricount_obs::{LogHistogram, MetricsRegistry};
@@ -78,6 +90,11 @@ pub struct EngineConfig {
     /// this seed (`None` = natural schedule). Answers are schedule
     /// independent; the determinism tests exercise exactly this knob.
     pub perturb_seed: Option<u64>,
+    /// Compaction trigger: once the summed per-rank overlay entries exceed
+    /// this fraction of the base adjacency entries,
+    /// [`Engine::apply_updates`] folds the overlays into fresh prepared
+    /// state (a communication-free re-orient + re-contract).
+    pub compaction_fraction: f64,
 }
 
 impl EngineConfig {
@@ -92,7 +109,45 @@ impl EngineConfig {
             watchdog: Duration::from_secs(30),
             timing: Some(CostModel::supermuc()),
             perturb_seed: None,
+            compaction_fraction: 0.25,
         }
+    }
+}
+
+/// The outcome of one [`Engine::apply_updates`] call.
+#[derive(Debug, Clone)]
+pub struct UpdateReceipt {
+    /// Epoch after the update (bumped iff the graph changed).
+    pub epoch: u64,
+    /// Effective edge insertions applied.
+    pub inserted: u64,
+    /// Effective edge deletions applied.
+    pub deleted: u64,
+    /// Canonical operations that were no-ops against the live graph
+    /// (insert of a present edge, delete of an absent one).
+    pub noops: u64,
+    /// Resident triangle count before the batch.
+    pub triangles_before: u64,
+    /// Resident triangle count after the batch.
+    pub triangles_after: u64,
+    /// Overlay size as a fraction of the base after the batch (before any
+    /// triggered compaction).
+    pub overlay_fraction: f64,
+    /// Whether this batch triggered a compaction.
+    pub compacted: bool,
+    /// Communication totals of the update run (route + count + refresh;
+    /// excludes any compaction).
+    pub comm: Counters,
+    /// Modeled α+β+t_op time of the update run.
+    pub modeled_seconds: f64,
+    /// Wall time of the update run on the host.
+    pub wall_seconds: f64,
+}
+
+impl UpdateReceipt {
+    /// The signed triangle delta of the batch.
+    pub fn delta(&self) -> i64 {
+        self.triangles_after as i64 - self.triangles_before as i64
     }
 }
 
@@ -118,6 +173,15 @@ struct Metrics {
     query_preprocessing_comm: Counters,
     modeled_seconds_total: f64,
     wall_seconds_total: f64,
+    updates_applied: u64,
+    edges_inserted: u64,
+    edges_deleted: u64,
+    update_noops: u64,
+    compactions: u64,
+    update_comm: Counters,
+    compaction_comm: Counters,
+    update_modeled_seconds: f64,
+    update_wall_seconds: f64,
     per_query: Vec<QueryRecord>,
     /// Queue-wait latency (submit → draining tick), nanoseconds.
     queue_wait: LogHistogram,
@@ -139,6 +203,9 @@ struct Metrics {
 pub struct Engine {
     cfg: EngineConfig,
     ranks: Arc<Vec<PreparedRank>>,
+    /// Per-rank mutable adjacency overlays (update deltas over the
+    /// immutable prepared bases). Locked per rank inside update runs.
+    overlays: Arc<Vec<Mutex<Overlay>>>,
     degrees: Arc<Vec<u64>>,
     num_vertices: u64,
     epoch: u64,
@@ -147,6 +214,15 @@ pub struct Engine {
     cache: BTreeMap<(u64, QueryKey), CachedValue>,
     pool: Pool,
     setup_stats: RunStats,
+    /// Statistics of the one-time baseline count establishing
+    /// `resident_triangles`.
+    baseline_stats: RunStats,
+    /// The incrementally maintained global triangle count.
+    resident_triangles: u64,
+    /// Whether any rank's overlay holds uncompacted deltas. Queries
+    /// compact first (the prepared state they run on is pre-update
+    /// otherwise).
+    dirty: bool,
     metrics: Metrics,
     /// Wall-clock origin: lifecycle span stamps count from here.
     born: Instant,
@@ -168,10 +244,26 @@ impl Engine {
             perturb_seed: None,
         };
         let (ranks, setup_stats) = build_residency(dg, &cfg.dist, &opts);
+        let ranks = Arc::new(ranks);
+        // Establish the resident triangle count once; apply_updates
+        // maintains it incrementally from here on. Metered separately from
+        // the setup so residency invariants (setup comm never repeats)
+        // stay checkable.
+        let baseline_ranks = ranks.clone();
+        let dist = cfg.dist;
+        let baseline = run_sim(cfg.num_ranks, &opts, move |ctx: &mut Ctx| {
+            cetric::count_prepared(ctx, &baseline_ranks[ctx.rank()], &dist)
+        });
+        let resident_triangles = baseline.output.results[0];
+        let overlays = ranks
+            .iter()
+            .map(|r| Mutex::new(Overlay::for_local(&r.local)))
+            .collect();
         let pool = Pool::new(cfg.workers.max(1));
         Engine {
             cfg,
-            ranks: Arc::new(ranks),
+            ranks,
+            overlays: Arc::new(overlays),
             degrees: Arc::new(degrees),
             num_vertices: g.num_vertices(),
             epoch: 0,
@@ -180,6 +272,9 @@ impl Engine {
             cache: BTreeMap::new(),
             pool,
             setup_stats,
+            baseline_stats: baseline.output.stats,
+            resident_triangles,
+            dirty: false,
             metrics: Metrics::default(),
             born: Instant::now(),
         }
@@ -209,6 +304,33 @@ impl Engine {
     /// Statistics of the one-time setup run.
     pub fn setup_stats(&self) -> &RunStats {
         &self.setup_stats
+    }
+
+    /// Statistics of the one-time baseline count that seeded
+    /// [`resident_triangles`](Engine::resident_triangles).
+    pub fn baseline_stats(&self) -> &RunStats {
+        &self.baseline_stats
+    }
+
+    /// The incrementally maintained global triangle count of the resident
+    /// graph — exact at every epoch (bit-equal to a from-scratch recount).
+    pub fn resident_triangles(&self) -> u64 {
+        self.resident_triangles
+    }
+
+    /// Whether overlays hold deltas not yet folded into the prepared
+    /// state. Queries compact first, so this being `true` never makes an
+    /// answer stale.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Summed overlay entries across ranks (0 when clean).
+    pub fn overlay_entries(&self) -> u64 {
+        self.overlays
+            .iter()
+            .map(|ov| ov.lock().expect("overlay lock").entries())
+            .sum()
     }
 
     /// Enqueues a query. Rejects with [`EngineError::Overloaded`] when the
@@ -248,6 +370,14 @@ impl Engine {
         let n = self.pending.len().min(self.cfg.batch_max);
         if n == 0 {
             return Vec::new();
+        }
+        // Read-your-writes: fold pending update overlays into the prepared
+        // state before serving, so every query kind sees the updated graph.
+        if self.dirty {
+            if let Err(e) = self.compact() {
+                let batch: Vec<Ticket> = self.pending.drain(..n).collect();
+                return batch.into_iter().map(|t| (t.id, Err(e.clone()))).collect();
+            }
         }
         let batch_index = self.metrics.batches;
         self.metrics.batches += 1;
@@ -411,13 +541,162 @@ impl Engine {
 
     /// Declares the resident graph stale: bumps the epoch, which atomically
     /// invalidates every cached result (entries are keyed by epoch; old
-    /// epochs are dropped). The resident topology itself is unchanged —
-    /// this models upstream recomputation triggers, and is the hook a
-    /// future incremental-update path would extend.
+    /// epochs are dropped). [`apply_updates`](Engine::apply_updates) calls
+    /// this whenever a batch changes the graph; calling it directly models
+    /// upstream recomputation triggers on an unchanged topology.
     pub fn advance_epoch(&mut self) {
         self.epoch += 1;
         let epoch = self.epoch;
         self.cache.retain(|(e, _), _| *e == epoch);
+    }
+
+    /// Applies a batch of edge insertions/deletions to the resident graph
+    /// through the distributed delta protocol, maintaining
+    /// [`resident_triangles`](Engine::resident_triangles) incrementally:
+    /// the batch is canonicalised, routed to the owning ranks, filtered
+    /// for no-ops, and the exact triangle delta is counted as distributed
+    /// intersections with same-batch corrections — no recount. Advances
+    /// the epoch iff the graph changed, and compacts the overlays once
+    /// they exceed [`EngineConfig::compaction_fraction`] of the base.
+    ///
+    /// Vertex ids must be in range ([`EngineError::UnknownVertex`]
+    /// otherwise — the vertex set is fixed at build). An empty or fully
+    /// cancelling batch returns a zero receipt without advancing the
+    /// epoch.
+    pub fn apply_updates(&mut self, batch: &UpdateBatch) -> Result<UpdateReceipt, EngineError> {
+        if let Some(mx) = batch.max_vertex() {
+            self.check_vertex(mx)?;
+        }
+        let canonical = batch.canonicalize();
+        let triangles_before = self.resident_triangles;
+        if canonical.is_empty() {
+            return Ok(UpdateReceipt {
+                epoch: self.epoch,
+                inserted: 0,
+                deleted: 0,
+                noops: 0,
+                triangles_before,
+                triangles_after: triangles_before,
+                overlay_fraction: 0.0,
+                compacted: false,
+                comm: Counters::default(),
+                modeled_seconds: 0.0,
+                wall_seconds: 0.0,
+            });
+        }
+        let p = self.cfg.num_ranks;
+        let opts = SimOptions {
+            timing: self.cfg.timing,
+            record_trace: false,
+            perturb_seed: self.cfg.perturb_seed,
+        };
+        let update_begin = self.now_nanos();
+        let started = Instant::now();
+        let ranks = self.ranks.clone();
+        let overlays = self.overlays.clone();
+        let dist = self.cfg.dist;
+        let shared_batch = Arc::new(canonical);
+        let batch_ref = shared_batch.clone();
+        let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
+            let mut ov = overlays[ctx.rank()].lock().expect("overlay lock");
+            delta_dist::apply_batch_rank(ctx, &ranks[ctx.rank()].local, &mut ov, &batch_ref, &dist)
+        })
+        .map_err(DistError::from)?;
+        let wall = started.elapsed().as_secs_f64();
+        let stats = out.output.stats;
+        let outcomes = out.output.results;
+
+        // Degree maintenance: each effective edge appears in exactly one
+        // rank's tail list; both endpoint degrees move by one.
+        let degrees = Arc::make_mut(&mut self.degrees);
+        for o in &outcomes {
+            for &(ins, u, v) in &o.tail_effective {
+                for x in [u, v] {
+                    let d = &mut degrees[x as usize];
+                    *d = if ins { *d + 1 } else { *d - 1 };
+                }
+            }
+        }
+
+        let global = &outcomes[0];
+        let triangles_after = triangles_before + global.triangles_added - global.triangles_removed;
+        self.resident_triangles = triangles_after;
+        if global.inserted + global.deleted > 0 {
+            self.advance_epoch();
+        }
+        let overlay_entries: u64 = outcomes.iter().map(|o| o.overlay_entries).sum();
+        let base_entries: u64 = outcomes.iter().map(|o| o.base_entries).sum();
+        self.dirty = overlay_entries > 0;
+        let overlay_fraction = overlay_entries as f64 / base_entries.max(1) as f64;
+
+        let totals = stats.totals();
+        let modeled = stats.modeled_time(&self.cfg.timing.unwrap_or_default());
+        self.metrics.updates_applied += 1;
+        self.metrics.edges_inserted += global.inserted;
+        self.metrics.edges_deleted += global.deleted;
+        self.metrics.update_noops += global.noops;
+        self.metrics.update_comm.absorb(&totals);
+        self.metrics.update_modeled_seconds += modeled;
+        self.metrics.update_wall_seconds += wall;
+        self.metrics.spans.push(EngineSpan {
+            label: "update",
+            batch: self.metrics.batches,
+            begin_nanos: update_begin,
+            end_nanos: self.now_nanos(),
+        });
+
+        let compacted = self.dirty && overlay_fraction > self.cfg.compaction_fraction;
+        if compacted {
+            self.compact()?;
+        }
+        Ok(UpdateReceipt {
+            epoch: self.epoch,
+            inserted: global.inserted,
+            deleted: global.deleted,
+            noops: global.noops,
+            triangles_before,
+            triangles_after,
+            overlay_fraction,
+            compacted,
+            comm: totals,
+            modeled_seconds: modeled,
+            wall_seconds: wall,
+        })
+    }
+
+    /// Folds every rank's overlay into fresh prepared state: merge the
+    /// delta lists into a new base, re-orient, re-contract. No
+    /// communication — the update protocol kept ghost degrees current for
+    /// every touched vertex.
+    fn compact(&mut self) -> Result<(), EngineError> {
+        let p = self.cfg.num_ranks;
+        let opts = SimOptions {
+            timing: self.cfg.timing,
+            record_trace: false,
+            perturb_seed: self.cfg.perturb_seed,
+        };
+        let begin = self.now_nanos();
+        let ranks = self.ranks.clone();
+        let overlays = self.overlays.clone();
+        let dist = self.cfg.dist;
+        let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
+            let mut ov = overlays[ctx.rank()].lock().expect("overlay lock");
+            delta_dist::compact_rank(ctx, &ranks[ctx.rank()], &mut ov, &dist)
+        })
+        .map_err(DistError::from)?;
+        self.ranks = Arc::new(out.output.results);
+        self.dirty = false;
+        self.metrics.compactions += 1;
+        self.metrics
+            .compaction_comm
+            .absorb(&out.output.stats.totals());
+        self.metrics.spans.push(EngineSpan {
+            label: "compaction",
+            batch: self.metrics.batches,
+            begin_nanos: begin,
+            end_nanos: self.now_nanos(),
+        });
+        Ok(())
     }
 
     /// Snapshots aggregate and per-query serving statistics.
@@ -435,6 +714,18 @@ impl Engine {
             cache_entries: self.cache.len(),
             setup_runs: 1,
             setup_comm: self.setup_stats.totals(),
+            baseline_comm: self.baseline_stats.totals(),
+            resident_triangles: self.resident_triangles,
+            updates_applied: self.metrics.updates_applied,
+            edges_inserted: self.metrics.edges_inserted,
+            edges_deleted: self.metrics.edges_deleted,
+            update_noops: self.metrics.update_noops,
+            compactions: self.metrics.compactions,
+            overlay_entries: self.overlay_entries(),
+            update_comm: self.metrics.update_comm,
+            compaction_comm: self.metrics.compaction_comm,
+            update_modeled_seconds: self.metrics.update_modeled_seconds,
+            update_wall_seconds: self.metrics.update_wall_seconds,
             query_comm: self.metrics.query_comm,
             query_preprocessing_comm: self.metrics.query_preprocessing_comm,
             modeled_seconds_total: self.metrics.modeled_seconds_total,
@@ -482,6 +773,41 @@ impl Engine {
             m.cache_misses,
         );
         reg.counter("tricount_engine_batches_total", "Ticks executed", m.batches);
+        reg.counter(
+            "tricount_engine_updates_applied_total",
+            "Edge-update batches applied",
+            m.updates_applied,
+        );
+        reg.counter(
+            "tricount_engine_edges_inserted_total",
+            "Effective edge insertions applied",
+            m.edges_inserted,
+        );
+        reg.counter(
+            "tricount_engine_edges_deleted_total",
+            "Effective edge deletions applied",
+            m.edges_deleted,
+        );
+        reg.counter(
+            "tricount_engine_update_noops_total",
+            "Update operations that were no-ops against the live graph",
+            m.update_noops,
+        );
+        reg.counter(
+            "tricount_engine_compactions_total",
+            "Overlay compactions performed",
+            m.compactions,
+        );
+        reg.gauge(
+            "tricount_engine_resident_triangles",
+            "Incrementally maintained global triangle count",
+            self.resident_triangles as f64,
+        );
+        reg.gauge(
+            "tricount_engine_overlay_entries",
+            "Summed per-rank overlay entries awaiting compaction",
+            self.overlay_entries() as f64,
+        );
         reg.gauge(
             "tricount_engine_queue_depth",
             "Queries waiting in the admission queue",

@@ -25,11 +25,12 @@ pub struct QueryRecord {
 }
 
 /// One engine lifecycle span: a tick stage (`admit` → `run` → `answer`,
-/// under an enclosing `batch`), in wall nanoseconds since the engine was
-/// built.
+/// under an enclosing `batch`) or a graph-mutation stage (`update`,
+/// `compaction`), in wall nanoseconds since the engine was built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineSpan {
-    /// Stage label: "batch", "admit", "run" or "answer".
+    /// Stage label: "batch", "admit", "run", "answer", "update" or
+    /// "compaction".
     pub label: &'static str,
     /// Tick index the span belongs to (0-based).
     pub batch: u64,
@@ -69,6 +70,34 @@ pub struct EngineStats {
     pub setup_runs: u64,
     /// Communication totals of the setup run.
     pub setup_comm: Counters,
+    /// Communication totals of the one-time baseline count that seeded the
+    /// resident triangle count.
+    pub baseline_comm: Counters,
+    /// The incrementally maintained resident triangle count.
+    pub resident_triangles: u64,
+    /// Update batches applied via `apply_updates`.
+    pub updates_applied: u64,
+    /// Effective edge insertions across all update batches.
+    pub edges_inserted: u64,
+    /// Effective edge deletions across all update batches.
+    pub edges_deleted: u64,
+    /// Canonical update operations that were no-ops against the live graph.
+    pub update_noops: u64,
+    /// Overlay compactions performed (threshold-triggered or
+    /// read-your-writes before a tick).
+    pub compactions: u64,
+    /// Summed per-rank overlay entries right now (0 when clean).
+    pub overlay_entries: u64,
+    /// Communication totals over every update run (route + count +
+    /// ghost refresh).
+    pub update_comm: Counters,
+    /// Communication totals over every compaction — all zeros when the
+    /// targeted ghost refresh works as intended (compaction never talks).
+    pub compaction_comm: Counters,
+    /// Sum of modeled times over all update runs.
+    pub update_modeled_seconds: f64,
+    /// Sum of wall times over all update runs.
+    pub update_wall_seconds: f64,
     /// Communication totals over every distributed query run.
     pub query_comm: Counters,
     /// Communication totals restricted to query runs' "preprocessing"
@@ -121,6 +150,34 @@ impl EngineStats {
         push_field(&mut s, "cache_entries", &self.cache_entries.to_string());
         push_field(&mut s, "setup_runs", &self.setup_runs.to_string());
         push_field(&mut s, "setup_comm", &counters_json(&self.setup_comm));
+        push_field(&mut s, "baseline_comm", &counters_json(&self.baseline_comm));
+        push_field(
+            &mut s,
+            "resident_triangles",
+            &self.resident_triangles.to_string(),
+        );
+        push_field(&mut s, "updates_applied", &self.updates_applied.to_string());
+        push_field(&mut s, "edges_inserted", &self.edges_inserted.to_string());
+        push_field(&mut s, "edges_deleted", &self.edges_deleted.to_string());
+        push_field(&mut s, "update_noops", &self.update_noops.to_string());
+        push_field(&mut s, "compactions", &self.compactions.to_string());
+        push_field(&mut s, "overlay_entries", &self.overlay_entries.to_string());
+        push_field(&mut s, "update_comm", &counters_json(&self.update_comm));
+        push_field(
+            &mut s,
+            "compaction_comm",
+            &counters_json(&self.compaction_comm),
+        );
+        push_field(
+            &mut s,
+            "update_modeled_seconds",
+            &json_f64(self.update_modeled_seconds),
+        );
+        push_field(
+            &mut s,
+            "update_wall_seconds",
+            &json_f64(self.update_wall_seconds),
+        );
         push_field(&mut s, "query_comm", &counters_json(&self.query_comm));
         push_field(
             &mut s,
@@ -238,6 +295,18 @@ mod tests {
             cache_entries: 1,
             setup_runs: 1,
             setup_comm: Counters::default(),
+            baseline_comm: Counters::default(),
+            resident_triangles: 7,
+            updates_applied: 2,
+            edges_inserted: 3,
+            edges_deleted: 1,
+            update_noops: 1,
+            compactions: 1,
+            overlay_entries: 0,
+            update_comm: Counters::default(),
+            compaction_comm: Counters::default(),
+            update_modeled_seconds: 0.01,
+            update_wall_seconds: 0.02,
             query_comm: Counters::default(),
             query_preprocessing_comm: Counters::default(),
             modeled_seconds_total: 0.5,

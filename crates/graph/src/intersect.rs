@@ -51,6 +51,62 @@ pub fn merge_collect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) ->
     ops
 }
 
+/// Merge-based intersection count over two sorted, duplicate-free
+/// *iterators* — the streaming twin of [`merge_count`], so callers holding
+/// composed neighborhood views (e.g. a base list with an overlay of
+/// insertions and deletions) can intersect without materialising either
+/// side.
+#[inline]
+pub fn merge_count_iter<I, J>(mut a: I, mut b: J) -> (u64, u64)
+where
+    I: Iterator<Item = VertexId>,
+    J: Iterator<Item = VertexId>,
+{
+    let mut x = a.next();
+    let mut y = b.next();
+    let mut count = 0u64;
+    let mut ops = 0u64;
+    while let (Some(u), Some(v)) = (x, y) {
+        ops += 1;
+        match u.cmp(&v) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+    (count, ops)
+}
+
+/// Streaming twin of [`merge_collect`]: intersects two sorted iterators and
+/// pushes the common elements into `out`, returning the comparison count.
+#[inline]
+pub fn merge_collect_iter<I, J>(mut a: I, mut b: J, out: &mut Vec<VertexId>) -> u64
+where
+    I: Iterator<Item = VertexId>,
+    J: Iterator<Item = VertexId>,
+{
+    let mut x = a.next();
+    let mut y = b.next();
+    let mut ops = 0u64;
+    while let (Some(u), Some(v)) = (x, y) {
+        ops += 1;
+        match u.cmp(&v) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                out.push(u);
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+    ops
+}
+
 /// Binary-search based intersection: probes each element of the smaller list
 /// in the larger one. Wins when the lists have very different lengths
 /// (GPU-style kernels in the paper's §III-C favour this shape).
@@ -136,6 +192,32 @@ mod tests {
             assert_eq!(merge_count(a, b).0, expect, "merge {a:?} {b:?}");
             assert_eq!(binary_search_count(a, b).0, expect, "bsearch {a:?} {b:?}");
             assert_eq!(gallop_count(a, b).0, expect, "gallop {a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn iter_kernels_match_slice_kernels() {
+        let cases: &[(&[VertexId], &[VertexId])] = &[
+            (&[], &[]),
+            (&[1], &[]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[1, 5, 9], &[2, 6, 10]),
+            (&[0, 2, 4, 6, 8, 10, 12], &[5, 6]),
+            (&[7], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+        ];
+        for (a, b) in cases {
+            let (c, ops) = merge_count(a, b);
+            assert_eq!(
+                merge_count_iter(a.iter().copied(), b.iter().copied()),
+                (c, ops),
+                "count {a:?} {b:?}"
+            );
+            let mut out_slice = Vec::new();
+            let slice_ops = merge_collect(a, b, &mut out_slice);
+            let mut out_iter = Vec::new();
+            let iter_ops = merge_collect_iter(a.iter().copied(), b.iter().copied(), &mut out_iter);
+            assert_eq!(out_iter, out_slice, "collect {a:?} {b:?}");
+            assert_eq!(iter_ops, slice_ops);
         }
     }
 

@@ -101,6 +101,44 @@ fn prometheus_snapshot_round_trips_through_the_parser() {
 }
 
 #[test]
+fn update_run_exports_a_valid_chrome_trace() {
+    use std::sync::Mutex;
+    use tricount_core::config::DistConfig;
+    use tricount_core::dist::delta::apply_batch_sim;
+    use tricount_core::dist::residency::build_residency;
+    use tricount_delta::{random_batch, Overlay};
+
+    let g = tricount_gen::rgg2d_default(2_000, 42);
+    let cfg = DistConfig::default();
+    let dg = DistGraph::new_balanced_vertices(&g, 16);
+    let (ranks, _) = build_residency(dg, &cfg, &SimOptions::default());
+    let overlays: Vec<Mutex<Overlay>> = ranks
+        .iter()
+        .map(|r| Mutex::new(Overlay::for_local(&r.local)))
+        .collect();
+    let batch = random_batch(&g, 40, 9).canonicalize();
+    let (_, stats, trace) = apply_batch_sim(&ranks, &overlays, &batch, &cfg, &traced_opts(None));
+    let trace = trace.expect("traced");
+    let cost = CostModel::supermuc();
+    let export = export_run(&trace, &stats, &cost);
+    json::validate(&export.json).expect("update-run chrome trace is valid JSON");
+    assert_eq!(export.tracks, 16, "one track per PE");
+    assert_eq!(
+        export.flow_arrows,
+        stats.totals().recv_messages,
+        "every delivered update message becomes exactly one flow arrow"
+    );
+    assert!(export.flow_arrows > 0, "the update protocol communicates");
+    // the update phases appear in the exported spans
+    for phase in ["update_route", "update_count", "update_ghost_refresh"] {
+        assert!(
+            export.json.contains(phase),
+            "phase {phase} missing from the export"
+        );
+    }
+}
+
+#[test]
 fn tracing_does_not_perturb_the_run() {
     // Direct-routed variants: every counter is schedule independent, so
     // tracing must leave each one bit-equal.
