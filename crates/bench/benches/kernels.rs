@@ -85,6 +85,98 @@ fn bench_intersections(reps: usize, rows: &mut Vec<Row>, report: &mut BenchRepor
     }
 }
 
+/// One full counting sweep over an oriented adjacency: for every directed
+/// edge `(v, u)` intersect `A(v) ∩ A(u)` through the dispatcher. This is
+/// the access pattern of the distributed local phase, reproduced
+/// sequentially so the ablation isolates kernel choice from simulator
+/// overhead.
+fn dispatch_sweep(
+    o: &cetric::graph::Csr,
+    policy: cetric::graph::kernels::KernelPolicy,
+    hubs: &cetric::graph::kernels::HubIndex,
+) -> u64 {
+    let mut d = cetric::graph::kernels::Dispatcher::with_hubs(policy, hubs);
+    let mut total = 0u64;
+    for v in o.vertices() {
+        let av = o.neighbors(v);
+        for &u in av {
+            total += d.count(av, Some(v), o.neighbors(u), Some(u)).0;
+        }
+    }
+    total
+}
+
+/// The kernel-ablation matrix: fixture skew × hub-index threshold ×
+/// kernel. Emits per-cell wall times plus `speedup_vs_merge/...` ratios
+/// (>1 means faster than the merge baseline); CI fails when the adaptive
+/// dispatcher loses to merge on the skewed fixtures.
+fn bench_kernel_ablation(scale: Scale, reps: usize, rows: &mut Vec<Row>, report: &mut BenchReport) {
+    use cetric::graph::kernels::{HubIndex, KernelChoice, KernelPolicy};
+    use cetric::graph::Csr;
+
+    let s = 10 + scale.shift();
+    let n = 1u64 << s;
+    let fixtures: Vec<(&str, Csr)> = vec![
+        ("uniform", cetric::gen::gnm(n, 8 * n, 11)),
+        ("skewed", cetric::gen::rmat_default(s, 11)),
+        ("hub_heavy", cetric::gen::rmat_hub_heavy(s, 11)),
+    ];
+    let kernels = [
+        KernelChoice::Merge,
+        KernelChoice::Gallop,
+        KernelChoice::Binary,
+        KernelChoice::Bitmap,
+        KernelChoice::Auto,
+    ];
+    for (fixture, g) in &fixtures {
+        // Id orientation keeps the hub out-lists huge (hubs sit at low
+        // ids): the adversarial case the adaptive kernels are built for.
+        let o = orient(g, OrderingKind::Id);
+        // Hub-fraction axis: the aggressive threshold indexes far more
+        // lists than the default.
+        for threshold in [64u64, 256] {
+            let hubs = HubIndex::build(o.vertices().map(|v| (v, o.neighbors(v))), threshold);
+            let mut merge_seconds = 0.0f64;
+            let mut merge_count_total = 0u64;
+            for kernel in kernels {
+                let policy = KernelPolicy {
+                    kernel,
+                    hub_threshold: threshold,
+                    ..KernelPolicy::default()
+                };
+                let count = dispatch_sweep(&o, policy, &hubs); // warm + verify
+                if kernel == KernelChoice::Merge {
+                    merge_count_total = count;
+                } else {
+                    assert_eq!(
+                        count,
+                        merge_count_total,
+                        "{fixture}/t{threshold}/{}: count mismatch vs merge",
+                        kernel.name()
+                    );
+                }
+                let t = time_per_call(reps, 1, || dispatch_sweep(&o, policy, &hubs));
+                let label = format!("kernel_matrix/{fixture}/t{threshold}/{}", kernel.name());
+                report.push_seconds(&label, t);
+                let speedup = if kernel == KernelChoice::Merge {
+                    merge_seconds = t;
+                    1.0
+                } else {
+                    merge_seconds / t
+                };
+                report.push_raw(
+                    &format!("speedup_vs_merge/{fixture}/t{threshold}/{}", kernel.name()),
+                    &tricount_bench::report::format_f64(speedup),
+                );
+                rows.push(Row {
+                    label,
+                    cells: vec![fmt_time(t), format!("{speedup:.2}x")],
+                });
+            }
+        }
+    }
+}
+
 fn bench_sequential_counting(reps: usize, rows: &mut Vec<Row>, report: &mut BenchReport) {
     let graph = cetric::gen::rmat_default(12, 7);
     let compressed = CompressedCsr::from_csr(&graph);
@@ -194,6 +286,13 @@ fn main() {
         "kernel micro-benchmarks (median wall time)",
         &["per call"],
         &rows,
+    );
+    let mut ablation_rows = Vec::new();
+    bench_kernel_ablation(scale, reps, &mut ablation_rows, &mut report);
+    print_table(
+        "kernel ablation (fixture × hub threshold × kernel)",
+        &["per sweep", "vs merge"],
+        &ablation_rows,
     );
     match report.write() {
         Ok(path) => println!("\nwrote {}", path.display()),

@@ -157,6 +157,31 @@ fn parse_dataset(s: &str) -> Result<Dataset, String> {
         })
 }
 
+/// Applies the shared `--kernel` / `--pool-workers` overrides to a config's
+/// kernel policy. `--pool-workers N` with `N > 1` also switches the
+/// degree-aware chunked local phase on.
+fn apply_kernel_opts(
+    config: &mut DistConfig,
+    kernel: Option<&str>,
+    pool_workers: Option<&str>,
+) -> Result<(), String> {
+    if let Some(k) = kernel {
+        config.kernels.kernel = tricount_graph::kernels::KernelChoice::parse(k)
+            .ok_or_else(|| format!("unknown kernel {k:?} (auto|merge|gallop|binary|bitmap)"))?;
+    }
+    if let Some(w) = pool_workers {
+        let workers: usize = w
+            .parse()
+            .map_err(|e| format!("bad --pool-workers {w:?}: {e}"))?;
+        if workers == 0 {
+            return Err("--pool-workers must be at least 1".to_string());
+        }
+        config.kernels.pool_workers = workers;
+        config.kernels.chunking = workers > 1;
+    }
+    Ok(())
+}
+
 fn parse_algorithm(s: &str) -> Result<Option<Algorithm>, String> {
     Ok(Some(match s {
         "seq" => return Ok(None),
@@ -264,6 +289,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     delta_factor: factor,
                 };
             }
+            apply_kernel_opts(&mut config, get("kernel"), get("pool-workers"))?;
             let model = match get("model").unwrap_or("supermuc") {
                 "supermuc" => CostModel::supermuc(),
                 "cloud" => CostModel::cloud(),
@@ -316,6 +342,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     _ => return Err(format!("unknown routing {r:?} (direct|grid)")),
                 };
             }
+            apply_kernel_opts(&mut config, get("kernel"), get("pool-workers"))?;
             let model = match get("model").unwrap_or("supermuc") {
                 "supermuc" => CostModel::supermuc(),
                 "cloud" => CostModel::cloud(),
@@ -340,7 +367,9 @@ fn usage() -> String {
     "usage: tricount <generate|count|lcc|enumerate|info|serve|update|profile> \
      [--input FILE | --family gnm|rgg2d|rhg|rmat | --dataset NAME] \
      [--n N] [--seed S] [--p P] [--alg A] [--model supermuc|cloud] \
-     [--routing direct|grid] [--delta-factor F] [--top K] [--limit K] \
+     [--routing direct|grid] [--delta-factor F] \
+     [--kernel auto|merge|gallop|binary|bitmap] [--pool-workers N] \
+     [--top K] [--limit K] \
      [--queries Q] [--workload-seed S] [--batch UPDATES.txt] [--json 1] \
      [-o OUT] [--chrome-trace OUT.json] [--phase-report 1] \
      [--metrics-out OUT.prom]"
@@ -534,8 +563,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 record_trace: true,
                 perturb_seed: None,
             };
-            let (r, trace) = tricount_core::dist::run_on_sim(dg, algorithm, &config, &opts)
-                .map_err(|e| e.to_string())?;
+            let (r, trace, dispatch) =
+                tricount_core::dist::run_on_sim_stats(dg, algorithm, &config, &opts)
+                    .map_err(|e| e.to_string())?;
             let trace = trace.ok_or("run recorded no trace (trace feature missing?)")?;
             println!("triangles: {}", r.triangles);
             println!(
@@ -544,6 +574,13 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 r.modeled_time(&model) * 1e3,
                 r.stats.makespan() * 1e3
             );
+            let rows: Vec<(&str, Vec<(&str, u64)>)> = dispatch
+                .phases
+                .iter()
+                .map(|(ph, c)| (*ph, c.named().to_vec()))
+                .collect();
+            println!("kernel dispatch ({}):", config.kernels.kernel.name());
+            print!("{}", tricount_obs::dispatch_table(&rows));
             if phase_report {
                 print!(
                     "{}",
@@ -737,6 +774,58 @@ mod tests {
     fn execute_count_on_generated_graph() {
         let cmd = parse(&args("count --family rgg2d --n 512 --p 4 --alg cetric")).unwrap();
         execute(cmd).unwrap();
+    }
+
+    #[test]
+    fn parse_kernel_overrides() {
+        use tricount_graph::kernels::KernelChoice;
+        let cmd = parse(&args(
+            "count --family gnm --alg cetric --kernel gallop --pool-workers 4",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Count { config, .. } => {
+                assert_eq!(config.kernels.kernel, KernelChoice::Gallop);
+                assert_eq!(config.kernels.pool_workers, 4);
+                assert!(config.kernels.chunking);
+            }
+            _ => panic!("wrong command"),
+        }
+        // one worker leaves the sequential local phase in place
+        let cmd = parse(&args("count --family gnm --alg cetric --pool-workers 1")).unwrap();
+        match cmd {
+            Command::Count { config, .. } => {
+                assert_eq!(config.kernels.pool_workers, 1);
+                assert!(!config.kernels.chunking);
+            }
+            _ => panic!("wrong command"),
+        }
+        // profile takes the same overrides
+        let cmd = parse(&args("profile --family gnm --alg cetric --kernel bitmap")).unwrap();
+        match cmd {
+            Command::Profile { config, .. } => {
+                assert_eq!(config.kernels.kernel, KernelChoice::Bitmap);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&args("count --family gnm --kernel nope")).is_err());
+        assert!(parse(&args("count --family gnm --pool-workers 0")).is_err());
+        assert!(parse(&args("count --family gnm --pool-workers x")).is_err());
+    }
+
+    #[test]
+    fn execute_count_with_kernel_overrides() {
+        for flags in [
+            "--kernel merge",
+            "--kernel bitmap",
+            "--kernel auto --pool-workers 2",
+        ] {
+            let cmd = parse(&args(&format!(
+                "count --family rgg2d --n 512 --p 4 --alg cetric {flags}"
+            )))
+            .unwrap();
+            execute(cmd).unwrap();
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! distinguishes CETRIC from DITRIC, selected via [`Algorithm`]).
 
 use tricount_comm::Routing;
+use tricount_graph::kernels::KernelPolicy;
 use tricount_graph::OrderingKind;
 
 /// Message-aggregation policy of the buffered queue (§IV-A).
@@ -65,6 +66,9 @@ pub struct DistConfig {
     /// [`DistError::OutOfMemory`](crate::result::DistError::OutOfMemory),
     /// reproducing the TriC crashes the paper reports.
     pub memory_limit_words: Option<u64>,
+    /// Intersection-kernel selection and intra-PE parallelism policy
+    /// (adaptive dispatch, hub index threshold, chunked counting).
+    pub kernels: KernelPolicy,
 }
 
 impl Default for DistConfig {
@@ -77,6 +81,7 @@ impl Default for DistConfig {
             degree_exchange: DegreeExchange::Dense,
             delegate_threshold: None,
             memory_limit_words: None,
+            kernels: KernelPolicy::default(),
         }
     }
 }

@@ -52,7 +52,7 @@ use tricount_comm::{
 };
 use tricount_delta::{CanonicalBatch, CanonicalOp, Overlay};
 use tricount_graph::dist::LocalGraph;
-use tricount_graph::intersect::merge_collect_iter;
+use tricount_graph::kernels::{Dispatcher, KernelCounters};
 use tricount_graph::VertexId;
 
 use crate::config::DistConfig;
@@ -83,6 +83,9 @@ pub struct DeltaOutcome {
     pub overlay_entries: u64,
     /// Base adjacency entries on this rank (the compaction denominator).
     pub base_entries: u64,
+    /// Kernel-dispatch tallies of this rank's counting passes (deletions +
+    /// insertions), rank-local.
+    pub kernels: KernelCounters,
 }
 
 /// Applies one canonical batch on this rank: routes, filters, counts the
@@ -195,8 +198,9 @@ pub fn apply_batch_rank(
         .map(|&(_, u, v)| (u, v))
         .collect();
 
+    let mut disp = Dispatcher::new(cfg.kernels);
     let removed_partial = ctx.with_span("count_deletions", |ctx| {
-        count_pass(ctx, lg, ov, &del_edges, &del_nbrs, queue_cfg)
+        count_pass(ctx, lg, ov, &del_edges, &del_nbrs, queue_cfg, &mut disp)
     });
     ctx.with_span("apply_overlay", |ctx| {
         let mut applied = 0u64;
@@ -215,7 +219,7 @@ pub fn apply_batch_rank(
         ctx.add_work(applied + 1);
     });
     let added_partial = ctx.with_span("count_insertions", |ctx| {
-        count_pass(ctx, lg, ov, &ins_edges, &ins_nbrs, queue_cfg)
+        count_pass(ctx, lg, ov, &ins_edges, &ins_nbrs, queue_cfg, &mut disp)
     });
     let global = ctx.allreduce_sum(&[
         removed_partial,
@@ -257,6 +261,7 @@ pub fn apply_batch_rank(
         tail_effective,
         overlay_entries: ov.entries(),
         base_entries: lg.num_local_entries(),
+        kernels: disp.counters(),
     }
 }
 
@@ -264,6 +269,11 @@ pub fn apply_batch_rank(
 /// `(u, v)` whose tail this rank owns, the distributed intersection of the
 /// *current* merged neighborhoods, with the min-edge same-batch
 /// correction. Returns this rank's partial triangle count.
+///
+/// Intersections dispatch adaptively where a side is *clean* (its merged
+/// view equals the base CSR slice, so probe kernels have a random-access
+/// table); dirty sides stream through the merge kernel. The clean/dirty
+/// verdict is overlay state — deterministic, schedule-independent.
 fn count_pass(
     ctx: &mut Ctx,
     lg: &LocalGraph,
@@ -271,6 +281,7 @@ fn count_pass(
     tail_edges: &[(VertexId, VertexId)],
     batch_nbrs: &BTreeMap<VertexId, Vec<VertexId>>,
     queue_cfg: QueueConfig,
+    disp: &mut Dispatcher<'_>,
 ) -> u64 {
     let part = lg.partition().clone();
     let mut count = 0u64;
@@ -278,7 +289,7 @@ fn count_pass(
 
     // Remote request: [u, v, |B(u)|, B(u)…, N(u)…] — answered against the
     // receiver's merged N(v) and local B(v).
-    let handler = |ctx: &mut Ctx, env: Envelope<'_>, acc: &mut u64| {
+    let handler = |ctx: &mut Ctx, env: Envelope<'_>, acc: &mut u64, d: &mut Dispatcher<'_>| {
         let u = env.payload[0];
         let v = env.payload[1];
         let blen = env.payload[2] as usize;
@@ -286,10 +297,23 @@ fn count_pass(
         let nu = &env.payload[3 + blen..];
         let bv = batch_nbrs.get(&v).map(|l| l.as_slice()).unwrap_or(&[]);
         let mut common = Vec::new();
-        let ops = merge_collect_iter(nu.iter().copied(), ov.merged_neighbors(lg, v), &mut common);
-        let (d, checks) = min_edge_filter(u, v, &common, bu, bv);
+        let ops = if ov.is_clean_at(v) {
+            // N(v) is exactly the base slice — probe kernels are available.
+            d.collect(nu, None, lg.neighbors(v), None, &mut common)
+        } else {
+            // Merged N(v) only streams; probe the stream into the shipped
+            // slice (falls back to streaming merge when nu is the smaller).
+            d.collect_iter(
+                ov.merged_neighbors(lg, v),
+                ov.degree_after(lg, v) as usize,
+                nu,
+                None,
+                &mut common,
+            )
+        };
+        let (delta, checks) = min_edge_filter(u, v, &common, bu, bv);
         ctx.add_work(ops + checks + 1);
-        *acc += d;
+        *acc += delta;
     };
 
     let mut scratch: Vec<u64> = Vec::new();
@@ -303,11 +327,32 @@ fn count_pass(
         if lg.is_owned(v) {
             let bv = batch_nbrs.get(&v).map(|l| l.as_slice()).unwrap_or(empty);
             common.clear();
-            let ops = merge_collect_iter(
-                ov.merged_neighbors(lg, u),
-                ov.merged_neighbors(lg, v),
-                &mut common,
-            );
+            let (u_clean, v_clean) = (ov.is_clean_at(u), ov.is_clean_at(v));
+            let ops = if u_clean && v_clean {
+                disp.collect(lg.neighbors(u), None, lg.neighbors(v), None, &mut common)
+            } else if v_clean {
+                disp.collect_iter(
+                    ov.merged_neighbors(lg, u),
+                    ov.degree_after(lg, u) as usize,
+                    lg.neighbors(v),
+                    None,
+                    &mut common,
+                )
+            } else if u_clean {
+                disp.collect_iter(
+                    ov.merged_neighbors(lg, v),
+                    ov.degree_after(lg, v) as usize,
+                    lg.neighbors(u),
+                    None,
+                    &mut common,
+                )
+            } else {
+                disp.merge_iters_collect(
+                    ov.merged_neighbors(lg, u),
+                    ov.merged_neighbors(lg, v),
+                    &mut common,
+                )
+            };
             let (d, checks) = min_edge_filter(u, v, &common, bu, bv);
             ctx.add_work(ops + checks + 1);
             count += d;
@@ -319,10 +364,10 @@ fn count_pass(
             scratch.extend_from_slice(bu);
             scratch.extend(ov.merged_neighbors(lg, u));
             q.post(ctx, part.rank_of(v), &scratch);
-            while q.poll(ctx, &mut |ctx, env| handler(ctx, env, &mut count)) {}
+            while q.poll(ctx, &mut |ctx, env| handler(ctx, env, &mut count, disp)) {}
         }
     }
-    q.finish(ctx, &mut |ctx, env| handler(ctx, env, &mut count));
+    q.finish(ctx, &mut |ctx, env| handler(ctx, env, &mut count, disp));
     count
 }
 
@@ -372,12 +417,17 @@ pub fn compact_rank(
     });
     let oriented = ctx.with_span("orient_expand", |_| merged.orient(cfg.ordering, true));
     let contracted = ctx.with_span("contract_cut_graph", |_| oriented.contracted());
+    let (hubs_oriented, hubs_contracted) = ctx.with_span("build_hub_index", |_| {
+        super::residency::build_hub_indexes(&oriented, &contracted, cfg.kernels.hub_threshold)
+    });
     ov.reset();
     ctx.end_phase(phases::COMPACTION);
     PreparedRank {
         local: merged,
         oriented,
         contracted,
+        hubs_oriented,
+        hubs_contracted,
     }
 }
 

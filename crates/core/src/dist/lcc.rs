@@ -10,13 +10,20 @@
 //! ([`crate::dist::residency::prepare_rank`]) and the counting part
 //! ([`lcc_prepared`]), so the resident query engine can serve LCC queries
 //! from state prepared once.
+//!
+//! Intersections go through the adaptive kernel dispatcher; the local phase
+//! optionally runs degree-aware chunked on the `par` pool, each chunk
+//! accumulating its own `Δ` vectors which are summed element-wise in
+//! canonical chunk order (u64 addition — bit-identical to sequential).
 
 use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
-use tricount_graph::dist::{DistGraph, LocalGraph};
-use tricount_graph::intersect::merge_collect;
+use tricount_graph::dist::{DistGraph, LocalGraph, OrientedLocalGraph};
+use tricount_graph::kernels::{balanced_chunks, Dispatcher, KernelCounters};
 use tricount_graph::VertexId;
+use tricount_par::Pool;
 
 use crate::config::DistConfig;
+use crate::dist::dispatch::DispatchReport;
 use crate::dist::into_cells;
 use crate::dist::phases;
 use crate::dist::residency::{prepare_rank, PreparedRank};
@@ -31,6 +38,16 @@ struct DeltaAcc {
 }
 
 impl DeltaAcc {
+    fn for_oriented(o: &OrientedLocalGraph) -> Self {
+        let owned_range = o.owned_range();
+        DeltaAcc {
+            start: owned_range.start,
+            owned: vec![0u64; (owned_range.end - owned_range.start) as usize],
+            ghost_ids: o.ghost_ids().to_vec(),
+            ghosts: vec![0u64; o.ghost_ids().len()],
+        }
+    }
+
     fn bump(&mut self, v: VertexId) {
         if v >= self.start && ((v - self.start) as usize) < self.owned.len() {
             self.owned[(v - self.start) as usize] += 1;
@@ -42,6 +59,16 @@ impl DeltaAcc {
             self.ghosts[gi] += 1;
         }
     }
+
+    /// Element-wise sum of another accumulator over the same vertex sets.
+    fn absorb(&mut self, other: &DeltaAcc) {
+        for (a, b) in self.owned.iter_mut().zip(&other.owned) {
+            *a += b;
+        }
+        for (a, b) in self.ghosts.iter_mut().zip(&other.ghosts) {
+            *a += b;
+        }
+    }
 }
 
 /// Runs the CETRIC-based per-vertex count on this rank. Returns this PE's
@@ -51,22 +78,53 @@ fn run_rank(ctx: &mut Ctx, lg: LocalGraph, cfg: &DistConfig) -> Vec<u64> {
     lcc_prepared(ctx, &prep, cfg)
 }
 
+/// One local-phase item: enumerate the triangles closing each directed edge
+/// out of `v` and bump all three corners. Returns the metered work. Shared
+/// by the sequential and chunked drivers.
+#[inline]
+fn lcc_local_item(
+    o: &OrientedLocalGraph,
+    v: VertexId,
+    av: &[VertexId],
+    acc: &mut DeltaAcc,
+    commons: &mut Vec<VertexId>,
+    d: &mut Dispatcher<'_>,
+) -> u64 {
+    let mut work = 0u64;
+    for &u in av {
+        let au = o.a_of(u).expect("head must be owned or ghost");
+        commons.clear();
+        let ops = d.collect(av, Some(v), au, Some(u), commons);
+        work += ops + 1;
+        for &w in commons.iter() {
+            acc.bump(v);
+            acc.bump(u);
+            acc.bump(w);
+        }
+    }
+    work
+}
+
 /// The per-vertex counting phases on already prepared per-rank state:
 /// local and global triangle enumeration bumping all three corners, then
 /// the ghost-Δ aggregation postprocessing. Returns this PE's owned `Δ`
 /// values; no setup communication happens here.
 pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec<u64> {
+    lcc_prepared_stats(ctx, prep, cfg).0
+}
+
+/// [`lcc_prepared`] plus this rank's per-phase kernel-dispatch tallies.
+pub fn lcc_prepared_stats(
+    ctx: &mut Ctx,
+    prep: &PreparedRank,
+    cfg: &DistConfig,
+) -> (Vec<u64>, DispatchReport) {
     let o = &prep.oriented;
     let owned_range = o.owned_range();
-    let mut acc = DeltaAcc {
-        start: owned_range.start,
-        owned: vec![0u64; (owned_range.end - owned_range.start) as usize],
-        ghost_ids: o.ghost_ids().to_vec(),
-        ghosts: vec![0u64; o.ghost_ids().len()],
-    };
+    let mut acc = DeltaAcc::for_oriented(o);
 
     // Local phase: enumerate type-1/2 triangles, bump all three corners.
-    let mut commons: Vec<VertexId> = Vec::new();
+    // Work list in canonical order: owned vertices, then ghosts.
     let mut local_pairs: Vec<(VertexId, &[VertexId])> = Vec::new();
     for v in owned_range.clone() {
         local_pairs.push((v, o.a_owned(v)));
@@ -74,19 +132,42 @@ pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec
     for gi in 0..o.ghost_ids().len() {
         local_pairs.push((o.ghost_ids()[gi], o.a_ghost(gi)));
     }
-    for &(v, av) in &local_pairs {
-        for &u in av {
-            let au = o.a_of(u).expect("head must be owned or ghost");
-            commons.clear();
-            let ops = merge_collect(av, au, &mut commons);
-            ctx.add_work(ops + 1);
-            for &w in commons.iter() {
-                acc.bump(v);
-                acc.bump(u);
-                acc.bump(w);
+    let policy = cfg.kernels;
+    let local_dispatch = if policy.chunking && policy.pool_workers > 1 && !local_pairs.is_empty() {
+        let weights: Vec<u64> = local_pairs.iter().map(|(_, av)| av.len() as u64).collect();
+        let ranges = balanced_chunks(&weights, policy.pool_workers.saturating_mul(4));
+        let pool = Pool::new(policy.pool_workers);
+        let results = pool.run_tasks(ranges, |_, (s, e)| {
+            let mut d = Dispatcher::with_hubs(policy, &prep.hubs_oriented);
+            let mut chunk_acc = DeltaAcc::for_oriented(o);
+            let mut commons: Vec<VertexId> = Vec::new();
+            let mut work = 0u64;
+            for &(v, av) in &local_pairs[s..e] {
+                work += lcc_local_item(o, v, av, &mut chunk_acc, &mut commons, &mut d);
             }
+            (chunk_acc, work, d.counters())
+        });
+        // Canonical chunk-order reduction: element-wise u64 sums of the
+        // per-chunk Δ vectors are bit-identical to the sequential bumps.
+        let mut work = 0u64;
+        let mut counters = KernelCounters::default();
+        for r in results {
+            acc.absorb(&r.result.0);
+            work += r.result.1;
+            counters.absorb(&r.result.2);
         }
-    }
+        ctx.add_work(work);
+        counters
+    } else {
+        let mut d = Dispatcher::with_hubs(policy, &prep.hubs_oriented);
+        let mut commons: Vec<VertexId> = Vec::new();
+        for &(v, av) in &local_pairs {
+            let work = lcc_local_item(o, v, av, &mut acc, &mut commons, &mut d);
+            ctx.add_work(work);
+        }
+        d.counters()
+    };
+    drop(local_pairs);
     let contracted = &prep.contracted;
     ctx.end_phase(phases::LOCAL);
 
@@ -101,18 +182,20 @@ pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec
         },
     );
     let part = o.partition().clone();
+    let mut gd = Dispatcher::with_hubs(policy, &prep.hubs_contracted);
     let handler = |acc: &mut DeltaAcc,
                    contracted: &tricount_graph::dist::ContractedGraph,
                    owned: &std::ops::Range<u64>,
                    ctx: &mut Ctx,
                    env: Envelope<'_>,
-                   commons: &mut Vec<VertexId>| {
+                   commons: &mut Vec<VertexId>,
+                   d: &mut Dispatcher<'_>| {
         let v = env.payload[0];
         let a = &env.payload[1..];
         for &u in a {
             if owned.contains(&u) {
                 commons.clear();
-                let ops = merge_collect(a, contracted.a_of(u), commons);
+                let ops = d.collect(a, None, contracted.a_of(u), Some(u), commons);
                 ctx.add_work(ops + 1);
                 for &w in commons.iter() {
                     acc.bump(v);
@@ -137,12 +220,28 @@ pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec
             scratch.extend_from_slice(a);
             q.post(ctx, j, &scratch);
             while q.poll(ctx, &mut |ctx, env| {
-                handler(&mut acc, contracted, &owned_range, ctx, env, &mut commons2)
+                handler(
+                    &mut acc,
+                    contracted,
+                    &owned_range,
+                    ctx,
+                    env,
+                    &mut commons2,
+                    &mut gd,
+                )
             }) {}
         }
     }
     q.finish(ctx, &mut |ctx, env| {
-        handler(&mut acc, contracted, &owned_range, ctx, env, &mut commons2)
+        handler(
+            &mut acc,
+            contracted,
+            &owned_range,
+            ctx,
+            env,
+            &mut commons2,
+            &mut gd,
+        )
     });
     ctx.end_phase(phases::GLOBAL);
 
@@ -165,7 +264,10 @@ pub fn lcc_prepared(ctx: &mut Ctx, prep: &PreparedRank, cfg: &DistConfig) -> Vec
         }
     }
     ctx.end_phase(phases::POSTPROCESS);
-    acc.owned
+
+    let mut report = DispatchReport::of(phases::LOCAL, local_dispatch);
+    report.add(phases::GLOBAL, gd.counters());
+    (acc.owned, report)
 }
 
 /// Normalises per-vertex `Δ` counts into clustering coefficients

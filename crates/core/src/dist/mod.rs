@@ -5,6 +5,7 @@ pub mod approx;
 pub mod baselines;
 pub mod cetric;
 pub mod delta;
+pub mod dispatch;
 pub mod ditric;
 pub mod enumerate;
 pub mod hybrid;
@@ -188,6 +189,56 @@ pub fn run_on_sim(
             stats: sim.output.stats,
         },
         sim.trace,
+    ))
+}
+
+/// Like [`run_on_sim`], additionally returning the kernel-dispatch tallies
+/// of every rank folded in rank order (empty for the baseline algorithms,
+/// which intersect without the dispatcher).
+pub fn run_on_sim_stats(
+    dg: DistGraph,
+    alg: Algorithm,
+    cfg: &DistConfig,
+    opts: &SimOptions,
+) -> Result<(CountResult, Option<Trace>, dispatch::DispatchReport), DistError> {
+    let p = dg.num_ranks();
+    let cells = into_cells(dg);
+    let body = |ctx: &mut Ctx| {
+        let lg = cells[ctx.rank()]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("local graph already taken");
+        match alg {
+            Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => {
+                Ok(ditric::run_rank_stats(ctx, lg, cfg))
+            }
+            Algorithm::Cetric | Algorithm::Cetric2 => Ok(cetric::run_rank_stats(ctx, lg, cfg)),
+            Algorithm::TricLike => baselines::tric_like_rank(ctx, lg, cfg)
+                .map(|c| (c, dispatch::DispatchReport::new())),
+            Algorithm::HavoqgtLike => Ok((
+                baselines::havoqgt_like_rank(ctx, lg, cfg),
+                dispatch::DispatchReport::new(),
+            )),
+        }
+    };
+    let sim = run_sim(p, opts, body);
+    let mut triangles = 0u64;
+    let mut report = dispatch::DispatchReport::new();
+    for (i, r) in sim.output.results.into_iter().enumerate() {
+        let (c, d) = r?;
+        if i == 0 {
+            triangles = c;
+        }
+        report.absorb(&d);
+    }
+    Ok((
+        CountResult {
+            triangles,
+            stats: sim.output.stats,
+        },
+        sim.trace,
+        report,
     ))
 }
 

@@ -12,10 +12,12 @@
 //! neighborhood `N(b)`. A final `allgatherv` of `(index, support)` pairs
 //! lets every rank assemble the identical, deterministic answer vector.
 
+use crate::config::DistConfig;
+use crate::dist::dispatch::DispatchReport;
 use crate::dist::phases;
 use tricount_comm::Ctx;
 use tricount_graph::dist::LocalGraph;
-use tricount_graph::intersect::merge_count;
+use tricount_graph::kernels::Dispatcher;
 use tricount_graph::VertexId;
 
 /// Computes the support of each query edge on this rank. All ranks must
@@ -26,14 +28,28 @@ use tricount_graph::VertexId;
 /// and `(b, a)` yield the same support but may be answered by different
 /// ranks. Vertices must be valid global ids; the support of an edge not
 /// present in the graph is still the common-neighbor count of its
-/// endpoints.
+/// endpoints. Intersections dispatch through `cfg.kernels` (no hub index —
+/// support intersects *full* neighborhoods, which the prepared hub index
+/// does not cover).
 pub fn edge_support_rank(
     ctx: &mut Ctx,
     lg: &LocalGraph,
     queries: &[(VertexId, VertexId)],
+    cfg: &DistConfig,
 ) -> Vec<u64> {
+    edge_support_rank_stats(ctx, lg, queries, cfg).0
+}
+
+/// [`edge_support_rank`] plus this rank's kernel-dispatch tallies.
+pub fn edge_support_rank_stats(
+    ctx: &mut Ctx,
+    lg: &LocalGraph,
+    queries: &[(VertexId, VertexId)],
+    cfg: &DistConfig,
+) -> (Vec<u64>, DispatchReport) {
     let p = ctx.num_ranks();
     let part = lg.partition().clone();
+    let mut d = Dispatcher::new(cfg.kernels);
 
     // (index, support) pairs this rank can answer, flattened for the final
     // allgather.
@@ -45,7 +61,7 @@ pub fn edge_support_rank(
         }
         let na = lg.neighbors(a);
         if lg.is_owned(b) {
-            let (c, ops) = merge_count(na, lg.neighbors(b));
+            let (c, ops) = d.count(na, None, lg.neighbors(b), None);
             ctx.add_work(ops + 1);
             answered.push(idx as u64);
             answered.push(c);
@@ -67,7 +83,7 @@ pub fn edge_support_rank(
             let len = req[i + 2] as usize;
             let na = &req[i + 3..i + 3 + len];
             i += 3 + len;
-            let (c, ops) = merge_count(na, lg.neighbors(b));
+            let (c, ops) = d.count(na, None, lg.neighbors(b), None);
             ctx.add_work(ops + 1);
             answered.push(idx);
             answered.push(c);
@@ -83,7 +99,7 @@ pub fn edge_support_rank(
         }
     }
     ctx.end_phase(phases::SUPPORT);
-    support
+    (support, DispatchReport::of(phases::SUPPORT, d.counters()))
 }
 
 #[cfg(test)]
@@ -92,6 +108,7 @@ mod tests {
     use std::sync::Mutex;
     use tricount_comm::run;
     use tricount_graph::dist::DistGraph;
+    use tricount_graph::intersect::merge_count;
 
     #[test]
     fn support_matches_sequential_intersection() {
@@ -122,9 +139,10 @@ mod tests {
             .map(|l| Mutex::new(Some(l)))
             .collect();
         let q = queries.clone();
+        let cfg = DistConfig::default();
         let out = run(p, |ctx| {
             let lg = cells[ctx.rank()].lock().unwrap().take().unwrap();
-            edge_support_rank(ctx, &lg, &q)
+            edge_support_rank(ctx, &lg, &q, &cfg)
         });
         for ranks_answer in &out.results {
             assert_eq!(ranks_answer, &expected);

@@ -74,6 +74,16 @@ impl Overlay {
         self.entries() == 0
     }
 
+    /// Whether owned vertex `v`'s neighborhood carries no pending deltas —
+    /// i.e. its merged view equals the base CSR slice exactly. Lets callers
+    /// use slice (random-access) intersection kernels for clean vertices
+    /// and fall back to the streamed merged view only where the overlay is
+    /// actually dirty.
+    pub fn is_clean_at(&self, v: VertexId) -> bool {
+        let s = self.slot(v);
+        self.added[s].is_empty() && self.removed[s].is_empty()
+    }
+
     /// Whether the *current* graph (base ⊕ overlay) contains `{v, u}`,
     /// judged from owned endpoint `v`. Both owners of an edge reach the
     /// same verdict independently — undirected adjacency is symmetric —

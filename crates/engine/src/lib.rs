@@ -48,9 +48,10 @@ use tricount_comm::{run_guarded, run_sim, CostModel, Counters, Ctx, RunStats, Si
 use tricount_core::config::{Algorithm, DistConfig};
 use tricount_core::dist::approx::{approx_prepared, ApproxConfig, FilterKind};
 use tricount_core::dist::delta as delta_dist;
+use tricount_core::dist::dispatch::DispatchReport;
 use tricount_core::dist::residency::{build_residency, PreparedRank};
-use tricount_core::dist::support::edge_support_rank;
-use tricount_core::dist::{baselines, cetric, ditric, lcc};
+use tricount_core::dist::support::edge_support_rank_stats;
+use tricount_core::dist::{baselines, cetric, ditric, lcc, phases};
 use tricount_core::result::DistError;
 use tricount_delta::{Overlay, UpdateBatch};
 use tricount_graph::dist::DistGraph;
@@ -197,6 +198,9 @@ struct Metrics {
     pool_workers: Vec<WorkerStats>,
     /// Lifecycle spans (batch/admit/run/answer per tick).
     spans: Vec<EngineSpan>,
+    /// Per-phase kernel-dispatch tallies over every query and update run,
+    /// folded in canonical (phase, rank) order.
+    kernel_dispatch: DispatchReport,
 }
 
 /// A long-lived engine serving queries against a graph loaded once.
@@ -413,7 +417,7 @@ impl Engine {
         let (task_results, pool_stats) = self
             .pool
             .run_tasks_stats(jobs.clone(), |_, key| self.compute(&key));
-        let computed: Vec<Result<(CachedValue, RunStats, f64), EngineError>> =
+        let computed: Vec<Result<(CachedValue, RunStats, f64, DispatchReport), EngineError>> =
             task_results.into_iter().map(|tr| tr.result).collect();
         if self.metrics.pool_workers.len() < pool_stats.workers.len() {
             self.metrics
@@ -436,8 +440,9 @@ impl Engine {
         let mut run_costs: BTreeMap<QueryKey, (f64, f64)> = BTreeMap::new();
         for (key, outcome) in jobs.into_iter().zip(computed) {
             match outcome {
-                Ok((value, stats, wall)) => {
+                Ok((value, stats, wall, dispatch)) => {
                     let modeled = stats.modeled_time(&cost);
+                    self.metrics.kernel_dispatch.absorb(&dispatch);
                     self.metrics.query_comm.absorb(&stats.totals());
                     self.metrics
                         .query_preprocessing_comm
@@ -606,6 +611,14 @@ impl Engine {
         let stats = out.output.stats;
         let outcomes = out.output.results;
 
+        // Kernel-dispatch tallies of the counting passes, folded per rank
+        // in rank order under the update-count phase.
+        for o in &outcomes {
+            self.metrics
+                .kernel_dispatch
+                .add(phases::UPDATE_COUNT, o.kernels);
+        }
+
         // Degree maintenance: each effective edge appears in exactly one
         // rank's tail list; both endpoint degrees move by one.
         let degrees = Arc::make_mut(&mut self.degrees);
@@ -736,6 +749,7 @@ impl Engine {
             pool: self.metrics.pool_workers.clone(),
             spans: self.metrics.spans.clone(),
             per_query: self.metrics.per_query.clone(),
+            kernel_dispatch: self.metrics.kernel_dispatch.clone(),
         }
     }
 
@@ -853,6 +867,16 @@ impl Engine {
             "Tickets drained per tick",
             &m.batch_sizes,
         );
+        for (phase, counters) in &m.kernel_dispatch.phases {
+            for (kernel, n) in counters.named() {
+                reg.counter_with(
+                    "tricount_kernel_dispatch_total",
+                    "Intersection calls served per kernel and counting phase",
+                    &[("phase", phase.to_string()), ("kernel", kernel.to_string())],
+                    n,
+                );
+            }
+        }
         for (i, w) in m.pool_workers.iter().enumerate() {
             let worker = [("worker", i.to_string())];
             reg.counter_with(
@@ -914,9 +938,12 @@ impl Engine {
     }
 
     /// Executes one cache key as a guarded distributed run against the
-    /// resident state. Returns the value, the run's statistics, and its
-    /// wall time.
-    fn compute(&self, key: &QueryKey) -> Result<(CachedValue, RunStats, f64), EngineError> {
+    /// resident state. Returns the value, the run's statistics, its wall
+    /// time, and the per-rank kernel-dispatch tallies folded in rank order.
+    fn compute(
+        &self,
+        key: &QueryKey,
+    ) -> Result<(CachedValue, RunStats, f64, DispatchReport), EngineError> {
         let p = self.cfg.num_ranks;
         let opts = SimOptions {
             timing: self.cfg.timing,
@@ -927,52 +954,67 @@ impl Engine {
         match key {
             QueryKey::Global(idx) => {
                 let alg = Algorithm::all()[*idx as usize];
-                let cfg = alg.config();
+                // Global queries run under the variant's own configuration,
+                // but the serving-side kernel policy is the engine's.
+                let mut cfg = alg.config();
+                cfg.kernels = self.cfg.dist.kernels;
                 let ranks = self.ranks.clone();
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
                     exec_global(ctx, &ranks[ctx.rank()], alg, &cfg)
                 })
                 .map_err(DistError::from)?;
                 let wall = started.elapsed().as_secs_f64();
-                let count = out
-                    .output
-                    .results
-                    .into_iter()
-                    .next()
-                    .expect("at least one rank")
-                    .map_err(EngineError::Dist)?;
-                Ok((CachedValue::Count(count), out.output.stats, wall))
+                let mut count = 0u64;
+                let mut report = DispatchReport::new();
+                for (i, r) in out.output.results.into_iter().enumerate() {
+                    let (c, d) = r.map_err(EngineError::Dist)?;
+                    if i == 0 {
+                        count = c;
+                    }
+                    report.absorb(&d);
+                }
+                Ok((CachedValue::Count(count), out.output.stats, wall, report))
             }
             QueryKey::LccFull => {
                 let ranks = self.ranks.clone();
                 let cfg = self.cfg.dist;
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
-                    lcc::lcc_prepared(ctx, &ranks[ctx.rank()], &cfg)
+                    lcc::lcc_prepared_stats(ctx, &ranks[ctx.rank()], &cfg)
                 })
                 .map_err(DistError::from)?;
                 let wall = started.elapsed().as_secs_f64();
                 let mut per_vertex = Vec::with_capacity(self.degrees.len());
-                for owned in out.output.results {
+                let mut report = DispatchReport::new();
+                for (owned, d) in out.output.results {
                     per_vertex.extend(owned);
+                    report.absorb(&d);
                 }
                 let full = lcc::normalize_lcc(&per_vertex, &self.degrees);
-                Ok((CachedValue::LccFull(full), out.output.stats, wall))
+                Ok((CachedValue::LccFull(full), out.output.stats, wall, report))
             }
             QueryKey::Support(edges) => {
                 let ranks = self.ranks.clone();
+                let cfg = self.cfg.dist;
                 let edges = Arc::new(edges.clone());
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
-                    edge_support_rank(ctx, &ranks[ctx.rank()].local, &edges)
+                    edge_support_rank_stats(ctx, &ranks[ctx.rank()].local, &edges, &cfg)
                 })
                 .map_err(DistError::from)?;
                 let wall = started.elapsed().as_secs_f64();
-                let support = out
-                    .output
-                    .results
-                    .into_iter()
-                    .next()
-                    .expect("at least one rank");
-                Ok((CachedValue::Support(support), out.output.stats, wall))
+                let mut support = Vec::new();
+                let mut report = DispatchReport::new();
+                for (i, (s, d)) in out.output.results.into_iter().enumerate() {
+                    if i == 0 {
+                        support = s;
+                    }
+                    report.absorb(&d);
+                }
+                Ok((
+                    CachedValue::Support(support),
+                    out.output.stats,
+                    wall,
+                    report,
+                ))
             }
             QueryKey::Approx(bits) => {
                 let ranks = self.ranks.clone();
@@ -998,6 +1040,7 @@ impl Engine {
                     CachedValue::Approx(exact as f64 + corrected, *bits as f64),
                     out.output.stats,
                     wall,
+                    DispatchReport::new(),
                 ))
             }
         }
@@ -1008,19 +1051,25 @@ impl Engine {
 /// run directly on the resident prepared state; the others run their full
 /// rank program on a clone of the resident local graph, whose ghost degrees
 /// are already known — so their preprocessing phase does no communication.
+/// Returns the count plus this rank's kernel-dispatch tallies (empty for
+/// the baselines, which intersect without the dispatcher).
 fn exec_global(
     ctx: &mut Ctx,
     prep: &PreparedRank,
     alg: Algorithm,
     cfg: &DistConfig,
-) -> Result<u64, DistError> {
+) -> Result<(u64, DispatchReport), DistError> {
     match alg {
-        Algorithm::Cetric | Algorithm::Cetric2 => Ok(cetric::count_prepared(ctx, prep, cfg)),
+        Algorithm::Cetric | Algorithm::Cetric2 => Ok(cetric::count_prepared_stats(ctx, prep, cfg)),
         Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => {
-            Ok(ditric::run_rank(ctx, prep.local.clone(), cfg))
+            Ok(ditric::run_rank_stats(ctx, prep.local.clone(), cfg))
         }
-        Algorithm::TricLike => baselines::tric_like_rank(ctx, prep.local.clone(), cfg),
-        Algorithm::HavoqgtLike => Ok(baselines::havoqgt_like_rank(ctx, prep.local.clone(), cfg)),
+        Algorithm::TricLike => baselines::tric_like_rank(ctx, prep.local.clone(), cfg)
+            .map(|c| (c, DispatchReport::new())),
+        Algorithm::HavoqgtLike => Ok((
+            baselines::havoqgt_like_rank(ctx, prep.local.clone(), cfg),
+            DispatchReport::new(),
+        )),
     }
 }
 

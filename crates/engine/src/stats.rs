@@ -2,6 +2,7 @@
 //! statistics, serialisable to JSON without any external dependency.
 
 use tricount_comm::Counters;
+use tricount_core::dist::dispatch::DispatchReport;
 use tricount_obs::Summary;
 use tricount_par::WorkerStats;
 
@@ -120,6 +121,9 @@ pub struct EngineStats {
     pub spans: Vec<EngineSpan>,
     /// Per-query records, in answer order.
     pub per_query: Vec<QueryRecord>,
+    /// Kernel-dispatch tallies per counting phase, over every query and
+    /// update run since the engine was built.
+    pub kernel_dispatch: DispatchReport,
 }
 
 impl EngineStats {
@@ -211,6 +215,11 @@ impl EngineStats {
         s.push_str(&workers.join(","));
         s.push_str("],");
         push_field(&mut s, "lifecycle_spans", &self.spans.len().to_string());
+        push_field(
+            &mut s,
+            "kernel_dispatch",
+            &dispatch_json(&self.kernel_dispatch),
+        );
         let records: Vec<String> = self.per_query.iter().map(record_json).collect();
         s.push_str("\"per_query\":[");
         s.push_str(&records.join(","));
@@ -242,6 +251,24 @@ pub fn summary_json(s: &Summary) -> String {
         json_f64(s.p99),
         json_f64(s.max)
     )
+}
+
+/// Serialises a [`DispatchReport`] as a JSON object keyed by phase, each
+/// phase an object keyed by kernel name.
+pub fn dispatch_json(r: &DispatchReport) -> String {
+    let phases: Vec<String> = r
+        .phases
+        .iter()
+        .map(|(phase, counters)| {
+            let kernels: Vec<String> = counters
+                .named()
+                .iter()
+                .map(|(k, n)| format!("\"{k}\":{n}"))
+                .collect();
+            format!("\"{phase}\":{{{}}}", kernels.join(","))
+        })
+        .collect();
+    format!("{{{}}}", phases.join(","))
 }
 
 /// Serialises the interesting [`Counters`] fields as a JSON object.
@@ -340,10 +367,22 @@ mod tests {
                 wall_seconds: 0.25,
                 failed: false,
             }],
+            kernel_dispatch: DispatchReport::of(
+                "local",
+                tricount_graph::kernels::KernelCounters {
+                    merge: 3,
+                    gallop: 2,
+                    binary: 1,
+                    bitmap: 0,
+                },
+            ),
         };
         let j = stats.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"cache_hit_rate\":0.5"));
+        assert!(j.contains(
+            "\"kernel_dispatch\":{\"local\":{\"merge\":3,\"gallop\":2,\"binary\":1,\"bitmap\":0}}"
+        ));
         assert!(j.contains("\"per_query\":[{\"kind\":\"global\""));
         assert!(j.contains("\"queue_wait\":{\"count\":1"));
         assert!(j.contains("\"pool\":[{\"executed\":1"));

@@ -31,7 +31,7 @@ pub use distributed::{gnm_local, rgg2d_distributed, rmat_local, RggLayout};
 pub use gnm::gnm;
 pub use rgg::{radius_for_avg_degree, rgg2d, rgg2d_default};
 pub use rhg::{rhg, rhg_default, RhgParams};
-pub use rmat::{rmat, rmat_default, RmatParams};
+pub use rmat::{rmat, rmat_default, rmat_hub_heavy, RmatParams};
 pub use rng::Rng;
 pub use road::{road, road_default, RoadParams};
 

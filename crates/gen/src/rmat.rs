@@ -37,6 +37,22 @@ impl RmatParams {
             c: 0.19,
         }
     }
+
+    /// A hub-heavy variant with the upper-left quadrant probability pushed
+    /// well past the Graph 500 default (`a = 0.7`): mass concentrates on
+    /// the low-id rows, so a few vertices collect a large fraction of all
+    /// endpoints. This is the adversarial skew the adaptive intersection
+    /// kernels (galloping / hub bitmaps) are built for — the kernel
+    /// ablation benches run on exactly this configuration.
+    pub fn hub_heavy(scale: u32) -> Self {
+        RmatParams {
+            scale,
+            edges: 16 << scale,
+            a: 0.70,
+            b: 0.14,
+            c: 0.14,
+        }
+    }
 }
 
 /// Generates an R-MAT graph (undirected simple graph after symmetrisation
@@ -81,6 +97,12 @@ pub fn rmat_default(scale: u32, seed: u64) -> Csr {
     rmat(&RmatParams::graph500(scale), seed)
 }
 
+/// R-MAT with the [`RmatParams::hub_heavy`] quadrant probabilities at the
+/// given scale.
+pub fn rmat_hub_heavy(scale: u32, seed: u64) -> Csr {
+    rmat(&RmatParams::hub_heavy(scale), seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +142,25 @@ mod tests {
         let g = rmat(&params, 3);
         g.validate_symmetric().unwrap();
         assert!(g.num_edges() <= 64 * 63 / 2);
+    }
+
+    #[test]
+    fn hub_heavy_is_more_skewed_than_graph500() {
+        let base = rmat_default(11, 9);
+        let heavy = rmat_hub_heavy(11, 9);
+        heavy.validate_symmetric().unwrap();
+        assert_eq!(heavy, rmat_hub_heavy(11, 9));
+        let skew = |g: &Csr| {
+            let degs = g.degrees();
+            let max = *degs.iter().max().unwrap() as f64;
+            max / (2.0 * g.num_edges() as f64 / g.num_vertices() as f64)
+        };
+        assert!(
+            skew(&heavy) > 1.5 * skew(&base),
+            "hub-heavy skew {} vs graph500 {}",
+            skew(&heavy),
+            skew(&base)
+        );
     }
 
     #[test]

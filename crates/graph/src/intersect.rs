@@ -3,7 +3,10 @@
 //! These are the innermost kernels of every EDGEITERATOR variant. Each
 //! function returns `(count, ops)` where `ops` is the number of candidate
 //! comparisons performed — the unit of "local work" metered by the machine
-//! model (`CostModel::t_op`).
+//! model (`CostModel::t_op`). Every kernel counts the same unit: one op per
+//! element comparison actually executed, so ablation plots compare like with
+//! like (a galloping probe that touches 5 elements costs 5 ops, not a
+//! synthetic `log n` lump).
 
 use crate::VertexId;
 
@@ -107,6 +110,24 @@ where
     ops
 }
 
+/// Binary search over a sorted slice that charges one op per element
+/// comparison actually performed. Shared by the binary-probe and galloping
+/// kernels so both meter work in the same unit as [`merge_count`].
+#[inline]
+fn counted_binary_search(hay: &[VertexId], x: VertexId, ops: &mut u64) -> Result<usize, usize> {
+    let (mut lo, mut hi) = (0usize, hay.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        *ops += 1;
+        match hay[mid].cmp(&x) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
 /// Binary-search based intersection: probes each element of the smaller list
 /// in the larger one. Wins when the lists have very different lengths
 /// (GPU-style kernels in the paper's §III-C favour this shape).
@@ -118,18 +139,35 @@ pub fn binary_search_count(a: &[VertexId], b: &[VertexId]) -> (u64, u64) {
     }
     let mut count = 0u64;
     let mut ops = 0u64;
-    let log = (usize::BITS - (large.len()).leading_zeros()) as u64;
     for &x in small {
-        ops += log;
-        if large.binary_search(&x).is_ok() {
+        if counted_binary_search(large, x, &mut ops).is_ok() {
             count += 1;
         }
     }
     (count, ops)
 }
 
+/// Binary-probe intersection that reports the common elements (in sorted
+/// order, since the probed side is sorted).
+#[inline]
+pub fn binary_search_collect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.is_empty() || small.is_empty() {
+        return 0;
+    }
+    let mut ops = 0u64;
+    for &x in small {
+        if counted_binary_search(large, x, &mut ops).is_ok() {
+            out.push(x);
+        }
+    }
+    ops
+}
+
 /// Galloping (exponential-search) intersection — adaptive between merge and
-/// binary search; used as an ablation kernel.
+/// binary search. Probes each element of the smaller list into the larger
+/// one, but restarts from the previous match position so a full pass costs
+/// O(|small|·log(|large|/|small|)) instead of O(|small|·log|large|).
 #[inline]
 pub fn gallop_count(a: &[VertexId], b: &[VertexId]) -> (u64, u64) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
@@ -140,25 +178,144 @@ pub fn gallop_count(a: &[VertexId], b: &[VertexId]) -> (u64, u64) {
         if cur >= large.len() {
             break;
         }
-        // exponential search for an upper bound on x's position in large[cur..]
-        let mut bound = 1usize;
-        while cur + bound < large.len() && large[cur + bound] < x {
-            ops += 1;
-            bound *= 2;
-        }
-        let hi = (cur + bound + 1).min(large.len());
-        ops += 1;
-        match large[cur..hi].binary_search(&x) {
-            Ok(pos) => {
-                count += 1;
-                cur += pos + 1;
-            }
-            Err(pos) => {
-                cur += pos;
-            }
+        if gallop_probe(large, &mut cur, x, &mut ops) {
+            count += 1;
         }
     }
     (count, ops)
+}
+
+/// Galloping intersection that reports the common elements.
+#[inline]
+pub fn gallop_collect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut ops = 0u64;
+    let mut cur = 0usize;
+    for &x in small {
+        if cur >= large.len() {
+            break;
+        }
+        if gallop_probe(large, &mut cur, x, &mut ops) {
+            out.push(x);
+        }
+    }
+    ops
+}
+
+/// One galloping probe: exponential search for an upper bound on `x`'s
+/// position in `large[*cur..]`, then a counted binary search inside the
+/// window. Advances `*cur` past the landing position so subsequent probes
+/// never re-scan. Each element comparison (doubling probe or bisection
+/// probe) costs one op.
+#[inline]
+fn gallop_probe(large: &[VertexId], cur: &mut usize, x: VertexId, ops: &mut u64) -> bool {
+    // Exponential search: each probe compares one element of `large`.
+    let mut bound = 1usize;
+    loop {
+        let idx = *cur + bound;
+        if idx >= large.len() {
+            break;
+        }
+        *ops += 1;
+        if large[idx] >= x {
+            break;
+        }
+        bound *= 2;
+    }
+    let lo = *cur + bound / 2;
+    let hi = (*cur + bound + 1).min(large.len());
+    match counted_binary_search(&large[lo..hi], x, ops) {
+        Ok(pos) => {
+            *cur = lo + pos + 1;
+            true
+        }
+        Err(pos) => {
+            *cur = lo + pos;
+            false
+        }
+    }
+}
+
+/// Binary-probe intersection of a sorted *iterator* against a sorted slice
+/// table: the streaming twin of [`binary_search_count`], for callers whose
+/// probe side is a composed view (base list + overlay) that never
+/// materialises. The table side must be a slice — random access is what the
+/// probes buy their speed with.
+#[inline]
+pub fn binary_search_count_iter<I>(probe: I, table: &[VertexId]) -> (u64, u64)
+where
+    I: Iterator<Item = VertexId>,
+{
+    let mut count = 0u64;
+    let mut ops = 0u64;
+    if table.is_empty() {
+        return (0, 0);
+    }
+    for x in probe {
+        if counted_binary_search(table, x, &mut ops).is_ok() {
+            count += 1;
+        }
+    }
+    (count, ops)
+}
+
+/// Streaming twin of [`binary_search_collect`].
+#[inline]
+pub fn binary_search_collect_iter<I>(probe: I, table: &[VertexId], out: &mut Vec<VertexId>) -> u64
+where
+    I: Iterator<Item = VertexId>,
+{
+    let mut ops = 0u64;
+    if table.is_empty() {
+        return 0;
+    }
+    for x in probe {
+        if counted_binary_search(table, x, &mut ops).is_ok() {
+            out.push(x);
+        }
+    }
+    ops
+}
+
+/// Galloping intersection of a sorted *iterator* against a sorted slice
+/// table: the streaming twin of [`gallop_count`]. The probe side streams in
+/// ascending order, so the gallop cursor still advances monotonically.
+#[inline]
+pub fn gallop_count_iter<I>(probe: I, table: &[VertexId]) -> (u64, u64)
+where
+    I: Iterator<Item = VertexId>,
+{
+    let mut count = 0u64;
+    let mut ops = 0u64;
+    let mut cur = 0usize;
+    for x in probe {
+        if cur >= table.len() {
+            break;
+        }
+        if gallop_probe(table, &mut cur, x, &mut ops) {
+            count += 1;
+        }
+    }
+    (count, ops)
+}
+
+/// Streaming twin of [`gallop_collect`].
+#[inline]
+pub fn gallop_collect_iter<I>(probe: I, table: &[VertexId], out: &mut Vec<VertexId>) -> u64
+where
+    I: Iterator<Item = VertexId>,
+{
+    let mut ops = 0u64;
+    let mut cur = 0usize;
+    for x in probe {
+        if cur >= table.len() {
+            break;
+        }
+        if gallop_probe(table, &mut cur, x, &mut ops) {
+            out.push(x);
+        }
+    }
+    ops
 }
 
 #[cfg(test)]
@@ -196,6 +353,27 @@ mod tests {
     }
 
     #[test]
+    fn collect_kernels_agree() {
+        let cases: &[(&[VertexId], &[VertexId])] = &[
+            (&[], &[]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[1, 3, 5, 7], &[3, 4, 7, 8]),
+            (&[0, 2, 4, 6, 8, 10, 12], &[5, 6]),
+            (&[7], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+        ];
+        for (a, b) in cases {
+            let mut expect = Vec::new();
+            merge_collect(a, b, &mut expect);
+            let mut got_b = Vec::new();
+            binary_search_collect(a, b, &mut got_b);
+            assert_eq!(got_b, expect, "bsearch collect {a:?} {b:?}");
+            let mut got_g = Vec::new();
+            gallop_collect(a, b, &mut got_g);
+            assert_eq!(got_g, expect, "gallop collect {a:?} {b:?}");
+        }
+    }
+
+    #[test]
     fn iter_kernels_match_slice_kernels() {
         let cases: &[(&[VertexId], &[VertexId])] = &[
             (&[], &[]),
@@ -222,6 +400,43 @@ mod tests {
     }
 
     #[test]
+    fn probe_iter_twins_match_probe_order() {
+        // The iter twins probe the *first* argument into the second (no
+        // small/large swap — the caller has no slice to swap). Check they
+        // agree with the slice kernels when the probe side is the smaller.
+        let cases: &[(&[VertexId], &[VertexId])] = &[
+            (&[], &[1, 2, 3]),
+            (&[2], &[1, 2, 3, 4, 5, 6, 7, 8]),
+            (&[1, 5, 9], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]),
+            (&[5, 6], &[0, 2, 4, 6, 8, 10, 12]),
+        ];
+        for (probe, table) in cases {
+            let bs = binary_search_count(probe, table);
+            assert_eq!(
+                binary_search_count_iter(probe.iter().copied(), table),
+                bs,
+                "bsearch iter {probe:?} {table:?}"
+            );
+            let gl = gallop_count(probe, table);
+            assert_eq!(
+                gallop_count_iter(probe.iter().copied(), table),
+                gl,
+                "gallop iter {probe:?} {table:?}"
+            );
+            let mut s1 = Vec::new();
+            let o1 = binary_search_collect(probe, table, &mut s1);
+            let mut s2 = Vec::new();
+            let o2 = binary_search_collect_iter(probe.iter().copied(), table, &mut s2);
+            assert_eq!((s1, o1), (s2, o2));
+            let mut g1 = Vec::new();
+            let p1 = gallop_collect(probe, table, &mut g1);
+            let mut g2 = Vec::new();
+            let p2 = gallop_collect_iter(probe.iter().copied(), table, &mut g2);
+            assert_eq!((g1, p1), (g2, p2));
+        }
+    }
+
+    #[test]
     fn merge_collect_reports_elements() {
         let a = vec![1, 3, 5, 7];
         let b = vec![3, 4, 7, 8];
@@ -237,5 +452,21 @@ mod tests {
         let (_, ops) = merge_count(&a, &b);
         assert!(ops <= (a.len() + b.len()) as u64);
         assert!(ops >= a.len().min(b.len()) as u64);
+    }
+
+    #[test]
+    fn probe_kernels_count_real_comparisons() {
+        // A single probe into a 1024-element table must cost at most
+        // ⌈log2(1025)⌉ comparisons — no fixed lump, no uncounted bisection.
+        let table: Vec<VertexId> = (0..1024).map(|i| i * 2).collect();
+        let (_, ops) = binary_search_count(&[1001], &table);
+        assert!((1..=11).contains(&ops), "bsearch ops = {ops}");
+        let (_, ops) = gallop_count(&[1001], &table);
+        // gallop pays the doubling walk plus the window bisection
+        assert!((1..=22).contains(&ops), "gallop ops = {ops}");
+        // Probing an element smaller than everything must be ~O(1) for
+        // gallop (one doubling probe + tiny window).
+        let (_, ops) = gallop_count(&[u64::MAX], &table);
+        assert!(ops <= 22, "gallop high probe ops = {ops}");
     }
 }

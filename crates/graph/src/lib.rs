@@ -16,8 +16,14 @@
 //!   full neighborhoods, *ghost* vertices, *interface* vertices, *cut edges*,
 //!   the *expanded local graph* (ghost neighborhoods rewired from incoming
 //!   cut edges) and the *contraction* to the cut graph `∂G` (paper §IV-C).
-//! * [`intersect`] — counting merge/hash intersections of sorted id lists,
-//!   instrumented so callers can meter local work in "candidate comparisons".
+//! * [`intersect`] — counting merge/gallop/binary intersections of sorted id
+//!   lists, instrumented so callers can meter local work in "candidate
+//!   comparisons".
+//! * [`kernels`] — the adaptive dispatch layer above [`intersect`]: a
+//!   [`kernels::KernelPolicy`] picks merge vs galloping vs binary probing by
+//!   a size-ratio cost model, with a per-PE [`kernels::HubIndex`]
+//!   (bitmap/hash) for hub vertices and degree-aware chunk planning for
+//!   intra-PE parallel counting.
 //!
 //! Vertex ids are global `u64` machine words throughout, matching the
 //! machine-word based communication-volume accounting of the paper.
@@ -31,6 +37,7 @@ pub mod edgelist;
 pub mod hash;
 pub mod intersect;
 pub mod io;
+pub mod kernels;
 pub mod ordering;
 pub mod partition;
 pub mod stats;

@@ -40,4 +40,6 @@ pub mod report;
 pub use chrome::{export_run, ChromeTraceBuilder, RunExport};
 pub use hist::{LogHistogram, Summary};
 pub use prom::{parse_exposition, MetricsRegistry, Sample};
-pub use report::{comm_histograms, phase_report, run_metrics, span_summary, CommHistograms};
+pub use report::{
+    comm_histograms, dispatch_table, phase_report, run_metrics, span_summary, CommHistograms,
+};

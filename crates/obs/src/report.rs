@@ -136,6 +136,46 @@ pub fn span_summary(trace: &Trace) -> String {
     out
 }
 
+/// Renders kernel-dispatch tallies as a fixed-width table: one row per
+/// (phase, kernel) with the call count and its share of the phase.
+///
+/// Takes plain `(phase, [(kernel, calls)])` data so the obs crate stays
+/// decoupled from the kernel layer — callers flatten their
+/// `DispatchReport` (e.g. `tricount_core::dist::dispatch`) into this shape
+/// via `KernelCounters::named()`. Zero-call kernels are elided; phases
+/// with no dispatches at all are skipped.
+pub fn dispatch_table(phases: &[(&str, Vec<(&str, u64)>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:<8} {:>12} {:>8}\n",
+        "phase", "kernel", "calls", "share"
+    ));
+    let mut any = false;
+    for (phase, kernels) in phases {
+        let total: u64 = kernels.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            continue;
+        }
+        for &(kernel, n) in kernels {
+            if n == 0 {
+                continue;
+            }
+            any = true;
+            out.push_str(&format!(
+                "{:<16} {:<8} {:>12} {:>7.1}%\n",
+                phase,
+                kernel,
+                n,
+                n as f64 / total as f64 * 100.0
+            ));
+        }
+    }
+    if !any {
+        out.push_str("(no kernel dispatches recorded)\n");
+    }
+    out
+}
+
 /// Populates a [`MetricsRegistry`] from a run's statistics (and, when a
 /// trace is available, its message-size/queue-depth histograms).
 pub fn run_metrics(stats: &RunStats, cost: &CostModel, trace: Option<&Trace>) -> MetricsRegistry {
@@ -263,6 +303,25 @@ mod tests {
         let summary = span_summary(&trace);
         assert!(summary.contains("phase"));
         assert!(summary.contains("local"));
+    }
+
+    #[test]
+    fn dispatch_table_elides_zero_rows() {
+        let rows = vec![
+            (
+                "local",
+                vec![("merge", 10u64), ("gallop", 30), ("bitmap", 0)],
+            ),
+            ("global", vec![("merge", 0u64), ("gallop", 0)]),
+        ];
+        let t = dispatch_table(&rows);
+        assert!(t.contains("local"), "{t}");
+        assert!(t.contains("gallop"), "{t}");
+        assert!(t.contains("75.0%"), "{t}");
+        assert!(!t.contains("bitmap"), "{t}");
+        assert!(!t.contains("global"), "{t}");
+        let empty = dispatch_table(&[("local", vec![("merge", 0u64)])]);
+        assert!(empty.contains("no kernel dispatches"), "{empty}");
     }
 
     #[test]
