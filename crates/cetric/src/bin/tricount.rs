@@ -15,6 +15,8 @@ fn main() {
         Ok(()) => {}
         Err(e) => {
             eprintln!("error: {e}");
+            // The one sanctioned exit: a bin's main deciding its exit code.
+            #[allow(clippy::disallowed_methods)]
             std::process::exit(1);
         }
     }

@@ -113,6 +113,20 @@ pub enum Command {
         /// Print the machine-readable stats snapshot after applying.
         json: bool,
     },
+    /// Run the concurrency checking suite: happens-before analysis and
+    /// protocol conformance of a traced run, exhaustive pool-interleaving
+    /// and delivery-order exploration, and (when run inside the
+    /// workspace) the `tricount-lint` source pass.
+    Check {
+        /// Input source.
+        source: Source,
+        /// Distributed algorithm for the traced run.
+        algorithm: Algorithm,
+        /// Simulated PEs.
+        p: usize,
+        /// Workspace root to lint (`None` = skip the source pass).
+        lint_root: Option<String>,
+    },
     /// Run one traced, timed count and export its profile.
     Profile {
         /// Input source.
@@ -253,6 +267,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         || verb == "serve"
         || verb == "update"
         || verb == "profile"
+        || verb == "check"
     {
         return Err("need an input: --input FILE, --family F, or --dataset D".to_string());
     } else {
@@ -331,6 +346,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .to_string(),
             json: get("json").is_some_and(|v| v == "true" || v == "1"),
         }),
+        "check" => {
+            let algorithm = parse_algorithm(get("alg").unwrap_or("cetric"))?
+                .ok_or("check needs a distributed algorithm (seq has no schedules to check)")?;
+            // Default to linting the workspace we are running inside, if
+            // this looks like one.
+            let lint_root = get("lint-root").map(|v| v.to_string()).or_else(|| {
+                std::path::Path::new("crates")
+                    .is_dir()
+                    .then(|| ".".to_string())
+            });
+            Ok(Command::Check {
+                source,
+                algorithm,
+                p,
+                lint_root,
+            })
+        }
         "profile" => {
             let algorithm = parse_algorithm(get("alg").unwrap_or("cetric"))?
                 .ok_or("profile needs a distributed algorithm (seq records no trace)")?;
@@ -364,13 +396,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 }
 
 fn usage() -> String {
-    "usage: tricount <generate|count|lcc|enumerate|info|serve|update|profile> \
+    "usage: tricount <generate|count|lcc|enumerate|info|serve|update|profile|check> \
      [--input FILE | --family gnm|rgg2d|rhg|rmat | --dataset NAME] \
      [--n N] [--seed S] [--p P] [--alg A] [--model supermuc|cloud] \
      [--routing direct|grid] [--delta-factor F] \
      [--kernel auto|merge|gallop|binary|bitmap] [--pool-workers N] \
      [--top K] [--limit K] \
      [--queries Q] [--workload-seed S] [--batch UPDATES.txt] [--json 1] \
+     [--lint-root DIR] \
      [-o OUT] [--chrome-trace OUT.json] [--phase-report 1] \
      [--metrics-out OUT.prom]"
         .to_string()
@@ -545,6 +578,32 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 );
             }
         }
+        Command::Check {
+            source,
+            algorithm,
+            p,
+            lint_root,
+        } => {
+            use tricount_engine::check::{check_concurrency, CheckOptions};
+            let g = load_source(&source)?;
+            println!(
+                "checking {} on {p} PEs (traced HB/conformance + exhaustive small-fixture schedules)",
+                algorithm.name()
+            );
+            let report = check_concurrency(&g, &CheckOptions::new(p, algorithm))
+                .map_err(|e| e.to_string())?;
+            print!("{report}");
+            let mut failed = !report.passed();
+            if let Some(root) = lint_root {
+                let lint = tricount_verify::lint_workspace(std::path::Path::new(&root))
+                    .map_err(|e| format!("lint scan of {root:?}: {e}"))?;
+                print!("{lint}");
+                failed |= !lint.is_clean();
+            }
+            if failed {
+                return Err("concurrency check FAILED".to_string());
+            }
+        }
         Command::Profile {
             source,
             algorithm,
@@ -561,7 +620,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             let opts = SimOptions {
                 timing: Some(model),
                 record_trace: true,
-                perturb_seed: None,
+                ..SimOptions::default()
             };
             let (r, trace, dispatch) =
                 tricount_core::dist::run_on_sim_stats(dg, algorithm, &config, &opts)

@@ -26,7 +26,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::cost::{ceil_log2, CostModel};
@@ -39,6 +39,9 @@ pub struct RawMsg {
     /// Immediate sender (for relayed traffic this is the proxy, not the
     /// originator).
     pub src: usize,
+    /// Per-`(src, dst)` sequence number assigned at send time; pairs the
+    /// send with its delivery in traces and delivery-order hooks.
+    pub seq: u64,
     /// Payload machine words.
     pub words: Vec<u64>,
     /// Simulated arrival time at the receiver (timed runs; 0 otherwise).
@@ -142,8 +145,21 @@ fn make_shared(p: usize) -> (Shared, Vec<Receiver<RawMsg>>) {
     (shared, receivers)
 }
 
+/// Chooses which pending message a PE delivers next. The model checker's
+/// hook into message delivery order: when set on [`SimOptions::delivery`],
+/// every [`Ctx::try_recv_raw`] drains the inbox into a holding pen and asks
+/// the chooser instead of taking the FIFO head.
+///
+/// `pending` lists the candidates as `(src, seq)` pairs in canonical order
+/// (ascending by source rank, then sequence number), so the index space a
+/// chooser sees is independent of the OS interleaving that filled the pen.
+pub trait DeliveryPick: Send + Sync {
+    /// Returns the index into `pending` of the message to deliver.
+    fn pick(&self, rank: usize, pending: &[(usize, u64)]) -> usize;
+}
+
 /// Options of a simulated run beyond the rank program itself.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone, Default)]
 pub struct SimOptions {
     /// Enable the overlap-aware simulated clock under this cost model.
     pub timing: Option<CostModel>,
@@ -153,6 +169,20 @@ pub struct SimOptions {
     /// Perturb message delivery order and thread interleaving under this
     /// seed (`None` = the natural schedule).
     pub perturb_seed: Option<u64>,
+    /// Externally controlled message delivery order (model checking);
+    /// overrides `perturb_seed` for delivery decisions when set.
+    pub delivery: Option<Arc<dyn DeliveryPick>>,
+}
+
+impl std::fmt::Debug for SimOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimOptions")
+            .field("timing", &self.timing)
+            .field("record_trace", &self.record_trace)
+            .field("perturb_seed", &self.perturb_seed)
+            .field("delivery", &self.delivery.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl SimOptions {
@@ -196,11 +226,16 @@ pub struct Ctx<'s> {
     /// Cost model of a timed run (None = untimed; clock stays 0).
     timing: Option<CostModel>,
     clock: f64,
-    /// Undelivered messages pulled off the channel under perturbation.
+    /// Undelivered messages pulled off the channel under perturbation or
+    /// external delivery control.
     pending: Vec<RawMsg>,
     /// Perturbation RNG state (unused when `perturb` is false).
     rng_state: u64,
     perturb: bool,
+    /// Externally controlled delivery order (model checking).
+    delivery: Option<Arc<dyn DeliveryPick>>,
+    /// Next outgoing sequence number per destination rank.
+    send_seq: Vec<u64>,
     /// Whether trace events are recorded for this run.
     tracing: bool,
     trace_buf: Vec<TraceEvent>,
@@ -442,24 +477,49 @@ impl<'s> Ctx<'s> {
             arrival = self.clock + cost.beta * words.len() as f64;
             self.counters.sim_clock = self.clock;
         }
+        let seq = self.send_seq[to];
+        self.send_seq[to] += 1;
         self.trace_with(|| TraceEvent::Sent {
             to,
             words: words.len() as u64,
+            seq,
         });
-        self.shared.senders[to]
-            .send(RawMsg {
-                src: self.rank,
-                words,
-                arrival,
-            })
-            .expect("receiver hung up");
+        // A closed inbox means the destination thread is gone — that only
+        // happens when a guarded run has been abandoned and its leaked
+        // threads are winding down; the message is moot, not a panic.
+        let _ = self.shared.senders[to].send(RawMsg {
+            src: self.rank,
+            seq,
+            words,
+            arrival,
+        });
     }
 
     /// Non-blocking receive of one message. Under perturbed runs the
     /// channel is drained into a holding pen and a seeded-random pending
-    /// message is delivered instead of the FIFO head.
+    /// message is delivered instead of the FIFO head; under an external
+    /// [`DeliveryPick`] hook ([`SimOptions::delivery`]) the chooser decides.
     pub fn try_recv_raw(&mut self) -> Option<RawMsg> {
-        let m = if self.perturb {
+        let m = if let Some(pick) = self.delivery.clone() {
+            while let Ok(m) = self.receiver.try_recv() {
+                self.pending.push(m);
+            }
+            if self.pending.is_empty() {
+                None
+            } else {
+                // Canonical candidate order so the chooser's index space is
+                // independent of the interleaving that filled the pen.
+                let mut order: Vec<usize> = (0..self.pending.len()).collect();
+                order.sort_by_key(|&i| (self.pending[i].src, self.pending[i].seq));
+                let cands: Vec<(usize, u64)> = order
+                    .iter()
+                    .map(|&i| (self.pending[i].src, self.pending[i].seq))
+                    .collect();
+                let k = pick.pick(self.rank, &cands);
+                assert!(k < order.len(), "DeliveryPick index {k} out of range");
+                Some(self.pending.swap_remove(order[k]))
+            }
+        } else if self.perturb {
             while let Ok(m) = self.receiver.try_recv() {
                 self.pending.push(m);
             }
@@ -488,6 +548,7 @@ impl<'s> Ctx<'s> {
         self.trace_with(|| TraceEvent::Received {
             from: m.src,
             words: m.words.len() as u64,
+            seq: m.seq,
         });
         Some(m)
     }
@@ -578,12 +639,20 @@ impl<'s> Ctx<'s> {
 
     fn allgatherv_uncharged(&mut self, data: Vec<u64>) -> Vec<Vec<u64>> {
         {
-            let mut s = self.shared.coll.lock().expect("collective lock poisoned");
+            let mut s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             s.slots[self.rank] = data;
         }
         self.barrier_uncharged();
         let out: Vec<Vec<u64>> = {
-            let s = self.shared.coll.lock().expect("collective lock poisoned");
+            let s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             s.slots.clone()
         };
         self.barrier_uncharged();
@@ -611,16 +680,28 @@ impl<'s> Ctx<'s> {
                 sent_msgs_here += 1;
                 sent_words_here += v.len() as u64;
                 let words = v.len() as u64;
-                self.trace_with(|| TraceEvent::Sent { to: d, words });
+                self.trace_with(|| TraceEvent::Sent {
+                    to: d,
+                    words,
+                    seq: crate::trace::COLL_CONSTITUENT_SEQ,
+                });
             }
         }
         {
-            let mut s = self.shared.coll.lock().expect("collective lock poisoned");
+            let mut s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             s.mat[self.rank] = outgoing;
         }
         self.barrier_uncharged();
         let incoming: Vec<Vec<u64>> = {
-            let s = self.shared.coll.lock().expect("collective lock poisoned");
+            let s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             (0..self.shared.p)
                 .map(|src| s.mat[src][self.rank].clone())
                 .collect()
@@ -635,7 +716,11 @@ impl<'s> Ctx<'s> {
                 recv_msgs_here += 1;
                 recv_words_here += v.len() as u64;
                 let words = v.len() as u64;
-                self.trace_with(|| TraceEvent::Received { from: srcr, words });
+                self.trace_with(|| TraceEvent::Received {
+                    from: srcr,
+                    words,
+                    seq: crate::trace::COLL_CONSTITUENT_SEQ,
+                });
             }
         }
         if let Some(cost) = self.timing {
@@ -740,6 +825,8 @@ where
         pending: Vec::new(),
         rng_state,
         perturb,
+        delivery: opts.delivery.clone(),
+        send_seq: vec![0; p],
         tracing: cfg!(feature = "trace") && opts.record_trace,
         trace_buf: Vec::new(),
         span_buf: Vec::new(),
@@ -872,7 +959,7 @@ where
 {
     assert!(p > 0, "need at least one PE");
     let (shared, receivers) = make_shared(p);
-    let mut slots: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
+    let mut outcomes: Vec<RankOutcome<R>> = Vec::with_capacity(p);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, receiver) in receivers.into_iter().enumerate() {
@@ -881,11 +968,24 @@ where
             let opts = &*opts;
             handles.push(scope.spawn(move || drive_rank(rank, shared, receiver, opts, f)));
         }
-        for (rank, h) in handles.into_iter().enumerate() {
-            slots[rank] = Some(h.join().expect("rank thread panicked"));
+        // Join everything before re-raising a panic: unwinding out of the
+        // scope with threads still running would panic a second time in the
+        // scope's implicit join (process abort).
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
-    let outcomes: Vec<RankOutcome<R>> = slots.into_iter().map(|s| s.unwrap()).collect();
     assemble(p, outcomes, opts.record_trace)
 }
 
@@ -921,6 +1021,12 @@ pub struct DeadlockReport {
     /// a PE blocked in a collective waits on every PE that has not entered
     /// the same collective (or already exited the program).
     pub wait_edges: Vec<(usize, usize)>,
+    /// Work-stealing pool batches that were in flight at the moment of
+    /// diagnosis: per batch, each worker's executed/steal counters (from
+    /// [`tricount_par::probe::snapshot_live`]). Distinguishes "a rank is
+    /// stuck inside its thread pool" from "the pool is idle and the rank is
+    /// stuck in the protocol".
+    pub pool_workers: Vec<Vec<tricount_par::WorkerStats>>,
 }
 
 impl std::fmt::Display for DeadlockReport {
@@ -948,6 +1054,17 @@ impl std::fmt::Display for DeadlockReport {
             write!(f, "  wait-for:")?;
             for (a, b) in &self.wait_edges {
                 write!(f, " {a}→{b}")?;
+            }
+            writeln!(f)?;
+        }
+        for (bi, batch) in self.pool_workers.iter().enumerate() {
+            write!(f, "  pool batch {bi}:")?;
+            for (w, ws) in batch.iter().enumerate() {
+                write!(
+                    f,
+                    " w{w}[exec={} steals={}/{}]",
+                    ws.executed, ws.steals_succeeded, ws.steals_attempted
+                )?;
             }
             writeln!(f)?;
         }
@@ -1012,12 +1129,13 @@ where
     let (shared, receivers) = make_shared(p);
     let shared = Arc::new(shared);
     let f = Arc::new(f);
-    let opts_copy = *opts;
+    let opts_copy = opts.clone();
     let (done_tx, done_rx) = mpsc::channel::<(usize, RankOutcome<R>)>();
     for (rank, receiver) in receivers.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
         let f = Arc::clone(&f);
         let done_tx = done_tx.clone();
+        let opts_copy = opts_copy.clone();
         std::thread::spawn(move || {
             let outcome = drive_rank(rank, &shared, receiver, &opts_copy, &*f);
             // the supervisor may have given up already; ignore send errors
@@ -1044,8 +1162,8 @@ where
                 completed += 1;
                 last_change = Instant::now();
                 if completed == p {
-                    let outcomes: Vec<RankOutcome<R>> =
-                        slots.into_iter().map(|s| s.unwrap()).collect();
+                    // every slot is Some: `completed` counts distinct ranks
+                    let outcomes: Vec<RankOutcome<R>> = slots.into_iter().flatten().collect();
                     return Ok(assemble(p, outcomes, opts.record_trace));
                 }
             }
@@ -1068,6 +1186,7 @@ where
                 stalled_for: last_change.elapsed(),
                 pes,
                 wait_edges,
+                pool_workers: tricount_par::probe::snapshot_live(),
             }));
         }
     }

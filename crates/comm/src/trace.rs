@@ -59,6 +59,12 @@ impl CollKind {
     }
 }
 
+/// Sentinel sequence number for [`TraceEvent::Sent`]/[`TraceEvent::Received`]
+/// events that are constituents of an `alltoallv` collective rather than
+/// true point-to-point messages: their ordering is established by the
+/// collective's enter/exit barriers, not by the per-peer sequence space.
+pub const COLL_CONSTITUENT_SEQ: u64 = u64::MAX;
+
 /// One recorded action of one PE. The PE is implicit: events live in
 /// per-PE buffers ([`Trace::per_pe`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +124,11 @@ pub enum TraceEvent {
         to: usize,
         /// Message length in words.
         words: u64,
+        /// Per-`(sender, to)` sequence number assigned at send time; pairs
+        /// this event with the matching [`TraceEvent::Received`] for
+        /// happens-before analysis. [`COLL_CONSTITUENT_SEQ`] for `alltoallv`
+        /// constituents (those are ordered by the collective itself).
+        seq: u64,
     },
     /// A raw point-to-point message was received.
     Received {
@@ -125,6 +136,9 @@ pub enum TraceEvent {
         from: usize,
         /// Message length in words.
         words: u64,
+        /// Sequence number carried by the message (assigned by the sender);
+        /// see [`TraceEvent::Sent::seq`].
+        seq: u64,
     },
     /// The PE entered a collective.
     CollEnter {

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 mod query;
 mod stats;
 pub mod workload;
@@ -59,6 +60,7 @@ use tricount_graph::{Csr, VertexId};
 use tricount_obs::{LogHistogram, MetricsRegistry};
 use tricount_par::{Pool, WorkerStats};
 
+pub use check::{check_concurrency, CheckOptions, CheckReport};
 pub use query::{EngineError, Query, QueryAnswer, TicketId};
 pub use stats::{EngineSpan, EngineStats, QueryRecord};
 pub use workload::scripted_workload;
@@ -246,6 +248,7 @@ impl Engine {
             timing: cfg.timing,
             record_trace: false,
             perturb_seed: None,
+            ..SimOptions::default()
         };
         let (ranks, setup_stats) = build_residency(dg, &cfg.dist, &opts);
         let ranks = Arc::new(ranks);
@@ -594,6 +597,7 @@ impl Engine {
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
+            ..SimOptions::default()
         };
         let update_begin = self.now_nanos();
         let started = Instant::now();
@@ -687,6 +691,7 @@ impl Engine {
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
+            ..SimOptions::default()
         };
         let begin = self.now_nanos();
         let ranks = self.ranks.clone();
@@ -949,6 +954,7 @@ impl Engine {
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
+            ..SimOptions::default()
         };
         let started = Instant::now();
         match key {

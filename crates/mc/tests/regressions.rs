@@ -1,0 +1,34 @@
+//! The model checker must rediscover the PR 2 pool deadlock — the own-deque
+//! guard held across steal attempts — within a bounded schedule budget.
+//! The buggy steal path is resurrected behind the test-only
+//! `mc-regressions` feature; plain `cargo test` never saw this hang
+//! because it needs both workers to hit the steal path at once.
+#![cfg(feature = "mc-regressions")]
+
+use tricount_mc::{explore_pool_buggy, AbortReason, ExploreConfig};
+
+#[test]
+fn rediscovers_pr2_double_deque_lock_deadlock() {
+    let cfg = ExploreConfig {
+        max_preemptions: Some(2),
+        max_schedules: 10_000,
+        ..ExploreConfig::default()
+    };
+    let report = explore_pool_buggy(2, || vec![1u64, 2], |_, t: u64| t, &cfg);
+    let (schedule, reason) = report
+        .deadlock
+        .expect("the resurrected double-deque-lock bug must deadlock under some interleaving");
+    assert!(
+        schedule < 10_000,
+        "found only at schedule {schedule}, beyond the ISSUE budget"
+    );
+    match reason {
+        AbortReason::Deadlock(desc) => {
+            assert!(
+                desc.contains("lock"),
+                "report should name the contended locks: {desc}"
+            );
+        }
+        other => panic!("expected a deadlock abort, got {other:?}"),
+    }
+}

@@ -217,7 +217,7 @@ pub fn export_run(trace: &Trace, stats: &RunStats, cost: &CostModel) -> RunExpor
                     }
                     cum = 0.0;
                 }
-                TraceEvent::Sent { to, words } => {
+                TraceEvent::Sent { to, words, .. } => {
                     cum += cost.alpha;
                     let send_ts = bounds[pi] + work_dur[r][pi] + cum;
                     let arrival = send_ts + cost.beta * *words as f64;
@@ -281,13 +281,21 @@ mod tests {
         Trace {
             per_pe: vec![
                 vec![
-                    TraceEvent::Sent { to: 1, words: 4 },
+                    TraceEvent::Sent {
+                        to: 1,
+                        words: 4,
+                        seq: 0,
+                    },
                     TraceEvent::PhaseEnded {
                         name: "local".to_string(),
                     },
                 ],
                 vec![
-                    TraceEvent::Received { from: 0, words: 4 },
+                    TraceEvent::Received {
+                        from: 0,
+                        words: 4,
+                        seq: 0,
+                    },
                     TraceEvent::PhaseEnded {
                         name: "local".to_string(),
                     },
@@ -325,7 +333,14 @@ mod tests {
         let cost = CostModel::supermuc();
         let base = export_run(&tiny_trace(), &tiny_stats(), &cost);
         let mut shuffled = tiny_trace();
-        shuffled.per_pe[1].insert(0, TraceEvent::Received { from: 0, words: 4 });
+        shuffled.per_pe[1].insert(
+            0,
+            TraceEvent::Received {
+                from: 0,
+                words: 4,
+                seq: 0,
+            },
+        );
         shuffled.per_pe[1].remove(1);
         let again = export_run(&shuffled, &tiny_stats(), &cost);
         assert_eq!(base.json, again.json);

@@ -328,7 +328,11 @@ mod tests {
     fn run_metrics_render_and_parse() {
         let trace = Trace {
             per_pe: vec![vec![
-                TraceEvent::Sent { to: 0, words: 4 },
+                TraceEvent::Sent {
+                    to: 0,
+                    words: 4,
+                    seq: 0,
+                },
                 TraceEvent::Posted {
                     dest: 0,
                     hop: 0,

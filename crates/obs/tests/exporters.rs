@@ -25,6 +25,7 @@ fn traced_opts(perturb_seed: Option<u64>) -> SimOptions {
         timing: None,
         record_trace: true,
         perturb_seed,
+        ..SimOptions::default()
     }
 }
 
@@ -147,6 +148,7 @@ fn tracing_does_not_perturb_the_run() {
             timing: None,
             record_trace: false,
             perturb_seed: None,
+            ..SimOptions::default()
         };
         let (r_plain, t_plain) = run_on_sim(rgg16(), alg, &alg.config(), &untraced).unwrap();
         assert!(t_plain.is_none());
@@ -184,6 +186,7 @@ fn tracing_does_not_perturb_grid_invariants() {
         timing: None,
         record_trace: false,
         perturb_seed: None,
+        ..SimOptions::default()
     };
     let (r_plain, _) = run_on_sim(rgg16(), alg, &alg.config(), &untraced).unwrap();
     let (r_traced, _) = run_on_sim(rgg16(), alg, &alg.config(), &traced_opts(None)).unwrap();

@@ -18,9 +18,14 @@
 
 #![warn(missing_docs)]
 
+pub mod probe;
+pub mod sched;
+
+pub use sched::{OsScheduler, Scheduler};
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// The result of one task: which worker ran it and what it returned.
@@ -127,15 +132,36 @@ impl Pool {
 
     /// Like [`Pool::run_tasks`], but also returns the batch's [`PoolStats`]:
     /// per-worker executed/steal counters and per-task execution spans
-    /// (wall nanoseconds from the batch start). The counters are recorded
-    /// in worker-local state and merged after the join, so observing a
-    /// batch costs two `Instant::now()` reads per task and nothing in
-    /// synchronisation.
+    /// (wall nanoseconds from the batch start). Counters live in a
+    /// [`probe::BatchProbe`] (relaxed atomics) so in-flight batches are
+    /// observable from outside — the comm watchdog reads them when it
+    /// diagnoses a stall.
     pub fn run_tasks_stats<T, R, F>(&self, tasks: Vec<T>, f: F) -> (Vec<TaskResult<R>>, PoolStats)
     where
         T: Send,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
+    {
+        self.run_tasks_sched(tasks, f, &OsScheduler)
+    }
+
+    /// Like [`Pool::run_tasks_stats`], but every scheduling decision —
+    /// worker start/retire, deque lock acquire/release, idle spin — is
+    /// routed through `sched` (see [`sched::Scheduler`] for the calling
+    /// contract). With [`OsScheduler`] this is the production path; a model
+    /// checker passes a controlling scheduler to serialise workers and
+    /// enumerate interleavings.
+    pub fn run_tasks_sched<T, R, F, S>(
+        &self,
+        tasks: Vec<T>,
+        f: F,
+        sched: &S,
+    ) -> (Vec<TaskResult<R>>, PoolStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+        S: Scheduler + ?Sized,
     {
         let total = tasks.len();
         let mut stats = PoolStats {
@@ -146,6 +172,7 @@ impl Pool {
             return (Vec::new(), stats);
         }
         let epoch = Instant::now();
+        let probe = probe::BatchProbe::register(self.num_workers);
         if self.num_workers == 1 {
             let results = tasks
                 .into_iter()
@@ -153,6 +180,7 @@ impl Pool {
                 .map(|(i, t)| {
                     let begin = epoch.elapsed().as_nanos() as u64;
                     let result = f(i, t);
+                    probe.task_executed(0);
                     stats.task_spans.push(TaskSpan {
                         task_index: i,
                         worker: 0,
@@ -180,7 +208,7 @@ impl Pool {
         let queues: Vec<Mutex<VecDeque<(usize, T)>>> = deques.into_iter().map(Mutex::new).collect();
         let remaining = AtomicUsize::new(total);
 
-        type WorkerOutcome<R> = (Vec<TaskResult<R>>, WorkerStats, Vec<TaskSpan>);
+        type WorkerOutcome<R> = (Vec<TaskResult<R>>, Vec<TaskSpan>);
         let mut partials: Vec<WorkerOutcome<R>> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -188,9 +216,10 @@ impl Pool {
                 let queues = &queues;
                 let remaining = &remaining;
                 let f = &f;
+                let probe = &probe;
                 handles.push(scope.spawn(move || {
+                    sched.actor_started(wid);
                     let mut out: Vec<TaskResult<R>> = Vec::new();
-                    let mut ws = WorkerStats::default();
                     let mut spans: Vec<TaskSpan> = Vec::new();
                     loop {
                         // Own deque front, then steal from peers' backs. The
@@ -200,19 +229,26 @@ impl Pool {
                         // end of the statement), and n workers holding their
                         // own lock while locking a peer's is a lock cycle —
                         // every batch ends with all workers in the steal path.
+                        // (`tricount-lint` rule TC-L002 rejects the chained
+                        // shape; the model checker proves this one sound.)
+                        sched.lock_acquire(wid, wid);
                         let own = queues[wid]
                             .lock()
-                            .expect("worker deque poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .pop_front();
+                        sched.lock_release(wid, wid);
                         let job = own.or_else(|| {
                             (1..n).find_map(|off| {
-                                ws.steals_attempted += 1;
-                                let stolen = queues[(wid + off) % n]
+                                let victim = (wid + off) % n;
+                                probe.steal_attempted(wid);
+                                sched.lock_acquire(wid, victim);
+                                let stolen = queues[victim]
                                     .lock()
-                                    .expect("worker deque poisoned")
+                                    .unwrap_or_else(PoisonError::into_inner)
                                     .pop_back();
+                                sched.lock_release(wid, victim);
                                 if stolen.is_some() {
-                                    ws.steals_succeeded += 1;
+                                    probe.steal_succeeded(wid);
                                 }
                                 stolen
                             })
@@ -227,39 +263,167 @@ impl Pool {
                                     begin_nanos: begin,
                                     end_nanos: epoch.elapsed().as_nanos() as u64,
                                 });
-                                ws.executed += 1;
+                                probe.task_executed(wid);
                                 out.push(TaskResult {
                                     task_index: idx,
                                     worker: wid,
                                     result,
                                 });
                                 remaining.fetch_sub(1, Ordering::AcqRel);
+                                sched.progress(wid);
                             }
                             None => {
                                 if remaining.load(Ordering::Acquire) == 0 {
                                     break;
                                 }
-                                std::thread::yield_now();
+                                sched.yield_now(wid);
                             }
                         }
                     }
-                    (out, ws, spans)
+                    sched.actor_finished(wid);
+                    (out, spans)
                 }));
             }
+            // Join everything before re-raising a worker panic: unwinding
+            // out of the scope with threads still running would make the
+            // scope's implicit join panic a second time (process abort). A
+            // controlling scheduler aborts *all* actors by panic, so several
+            // Errs at once is the norm, not the exception.
+            let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
             for h in handles {
-                partials.push(h.join().expect("worker panicked"));
+                match h.join() {
+                    Ok(part) => partials.push(part),
+                    Err(payload) => {
+                        partials.push((Vec::new(), Vec::new()));
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
             }
         });
 
         let mut all: Vec<TaskResult<R>> = Vec::with_capacity(total);
-        for (wid, (out, ws, spans)) in partials.into_iter().enumerate() {
+        for (out, spans) in partials {
             all.extend(out);
-            stats.workers[wid] = ws;
             stats.task_spans.extend(spans);
         }
+        stats.workers = probe.stats();
         all.sort_by_key(|r| r.task_index);
         stats.task_spans.sort_by_key(|s| s.task_index);
         (all, stats)
+    }
+
+    /// The pre-PR 2 fetch discipline, resurrected verbatim for model-checker
+    /// regression tests: the own-deque guard is held across the steal
+    /// attempts, so `n` idle workers form a lock cycle. Only compiled with
+    /// the test-only `mc-regressions` feature; never call this outside a
+    /// controlling scheduler — under the OS scheduler it really deadlocks.
+    #[cfg(feature = "mc-regressions")]
+    pub fn run_tasks_buggy_sched<T, R, F, S>(
+        &self,
+        tasks: Vec<T>,
+        f: F,
+        sched: &S,
+    ) -> Vec<TaskResult<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+        S: Scheduler + ?Sized,
+    {
+        let total = tasks.len();
+        let n = self.num_workers;
+        assert!(n >= 2, "the buggy steal path needs at least two workers");
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut deques: Vec<VecDeque<(usize, T)>> = (0..n).map(|_| VecDeque::new()).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            deques[i % n].push_back((i, t));
+        }
+        let queues: Vec<Mutex<VecDeque<(usize, T)>>> = deques.into_iter().map(Mutex::new).collect();
+        let remaining = AtomicUsize::new(total);
+
+        let mut partials: Vec<Vec<TaskResult<R>>> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for wid in 0..n {
+                let queues = &queues;
+                let remaining = &remaining;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    sched.actor_started(wid);
+                    let mut out: Vec<TaskResult<R>> = Vec::new();
+                    loop {
+                        // BUG (intentional): one chained statement keeps the
+                        // own-deque guard alive through the steal attempts.
+                        sched.lock_acquire(wid, wid);
+                        let job = queues[wid]
+                            .lock() // lint: allow(TC-L002)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_front()
+                            .or_else(|| {
+                                (1..n).find_map(|off| {
+                                    let victim = (wid + off) % n;
+                                    sched.lock_acquire(wid, victim);
+                                    let stolen = queues[victim]
+                                        .lock() // lint: allow(TC-L002)
+                                        .unwrap_or_else(PoisonError::into_inner)
+                                        .pop_back();
+                                    sched.lock_release(wid, victim);
+                                    stolen
+                                })
+                            });
+                        sched.lock_release(wid, wid);
+                        match job {
+                            Some((idx, task)) => {
+                                let result = f(idx, task);
+                                out.push(TaskResult {
+                                    task_index: idx,
+                                    worker: wid,
+                                    result,
+                                });
+                                remaining.fetch_sub(1, Ordering::AcqRel);
+                                sched.progress(wid);
+                            }
+                            None => {
+                                if remaining.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                sched.yield_now(wid);
+                            }
+                        }
+                    }
+                    sched.actor_finished(wid);
+                    out
+                }));
+            }
+            let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(part) => partials.push(part),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+        });
+
+        let mut all: Vec<TaskResult<R>> = Vec::with_capacity(total);
+        for out in partials {
+            all.extend(out);
+        }
+        all.sort_by_key(|r| r.task_index);
+        all
     }
 
     /// Map-reduce over tasks: applies `map` with stealing, folds the results
@@ -417,6 +581,61 @@ mod tests {
             }
         });
         assert!(stats.steals_attempted() > 0);
+    }
+
+    #[test]
+    fn scheduler_hooks_are_balanced() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Default)]
+        struct CountingSched {
+            started: AtomicUsize,
+            finished: AtomicUsize,
+            acquires: AtomicUsize,
+            releases: AtomicUsize,
+            progressed: AtomicUsize,
+        }
+        impl Scheduler for CountingSched {
+            fn actor_started(&self, _actor: usize) {
+                self.started.fetch_add(1, Ordering::Relaxed);
+            }
+            fn actor_finished(&self, _actor: usize) {
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+            fn lock_acquire(&self, _actor: usize, _lock: usize) {
+                self.acquires.fetch_add(1, Ordering::Relaxed);
+            }
+            fn lock_release(&self, _actor: usize, _lock: usize) {
+                self.releases.fetch_add(1, Ordering::Relaxed);
+            }
+            fn progress(&self, _actor: usize) {
+                self.progressed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let pool = Pool::new(3);
+        let s = CountingSched::default();
+        let (results, stats) = pool.run_tasks_sched((0..50u64).collect(), |_i, x| x + 1, &s);
+        assert_eq!(results.len(), 50);
+        assert_eq!(stats.tasks_executed(), 50);
+        assert_eq!(s.started.load(Ordering::Relaxed), 3);
+        assert_eq!(s.finished.load(Ordering::Relaxed), 3);
+        assert_eq!(s.progressed.load(Ordering::Relaxed), 50);
+        assert_eq!(
+            s.acquires.load(Ordering::Relaxed),
+            s.releases.load(Ordering::Relaxed)
+        );
+        // Every fetch takes at least the own-deque lock once per task.
+        assert!(s.acquires.load(Ordering::Relaxed) >= 50);
+    }
+
+    #[test]
+    fn stats_visible_through_live_probe_registry() {
+        // A finished batch's probe is pruned; counters while live equal the
+        // final PoolStats (checked indirectly: totals conserved).
+        let pool = Pool::new(2);
+        let (_, stats) = pool.run_tasks_stats((0..40u64).collect(), |_i, x| x);
+        assert_eq!(stats.tasks_executed(), 40);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Live, concurrently-readable per-worker counters for in-flight pool
+//! batches. The pool registers a [`BatchProbe`] for every batch it runs;
+//! external observers (the comm watchdog's deadlock reporter) call
+//! [`snapshot_live`] to see whether workers are still making progress and
+//! how steal traffic is distributed — from outside the stalled threads.
+//!
+//! Registration is a global `Weak` list: when a batch finishes the pool
+//! drops its `Arc` and the entry dies; readers and registrars prune dead
+//! entries opportunistically, so the list never grows beyond the number of
+//! concurrently live batches plus recently finished ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+
+use crate::WorkerStats;
+
+/// Live counters for one in-flight batch, one cell set per worker.
+#[derive(Debug)]
+pub struct BatchProbe {
+    workers: Vec<WorkerCells>,
+}
+
+#[derive(Debug, Default)]
+struct WorkerCells {
+    executed: AtomicU64,
+    steals_attempted: AtomicU64,
+    steals_succeeded: AtomicU64,
+}
+
+static REGISTRY: Mutex<Vec<Weak<BatchProbe>>> = Mutex::new(Vec::new());
+
+impl BatchProbe {
+    /// Creates a probe for `workers` workers and registers it for
+    /// [`snapshot_live`] readers. Deregistration is implicit: the entry dies
+    /// when the pool drops the returned `Arc` at the end of the batch.
+    pub fn register(workers: usize) -> Arc<BatchProbe> {
+        let probe = Arc::new(BatchProbe {
+            workers: (0..workers).map(|_| WorkerCells::default()).collect(),
+        });
+        let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&probe));
+        probe
+    }
+
+    /// Records one executed task by `worker`.
+    pub fn task_executed(&self, worker: usize) {
+        self.workers[worker]
+            .executed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one steal probe by `worker`.
+    pub fn steal_attempted(&self, worker: usize) {
+        self.workers[worker]
+            .steals_attempted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one successful steal by `worker`.
+    pub fn steal_succeeded(&self, worker: usize) {
+        self.workers[worker]
+            .steals_succeeded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counters, one [`WorkerStats`] per worker.
+    pub fn stats(&self) -> Vec<WorkerStats> {
+        self.workers
+            .iter()
+            .map(|c| WorkerStats {
+                executed: c.executed.load(Ordering::Relaxed),
+                steals_attempted: c.steals_attempted.load(Ordering::Relaxed),
+                steals_succeeded: c.steals_succeeded.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Snapshots every live (in-flight) batch: one `Vec<WorkerStats>` per batch,
+/// indexed by worker. Finished batches are pruned as a side effect.
+pub fn snapshot_live() -> Vec<Vec<WorkerStats>> {
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    reg.retain(|w| w.strong_count() > 0);
+    reg.iter()
+        .filter_map(|w| w.upgrade())
+        .map(|p| p.stats())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts_and_deregisters() {
+        let probe = BatchProbe::register(2);
+        probe.task_executed(0);
+        probe.task_executed(0);
+        probe.steal_attempted(1);
+        probe.steal_succeeded(1);
+        let live = snapshot_live();
+        // Other tests may have concurrent batches; find ours.
+        let ours = live
+            .iter()
+            .find(|b| b.len() == 2 && b[0].executed == 2)
+            .expect("registered probe visible");
+        assert_eq!(ours[1].steals_attempted, 1);
+        assert_eq!(ours[1].steals_succeeded, 1);
+        drop(probe);
+        assert!(!snapshot_live()
+            .iter()
+            .any(|b| b.len() == 2 && b[0].executed == 2));
+    }
+}

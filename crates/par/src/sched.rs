@@ -1,0 +1,51 @@
+//! Pluggable scheduling hooks: every decision the pool makes (which deque
+//! lock to take, when to spin, when a worker retires) is routed through the
+//! [`Scheduler`] trait so an external driver can serialise and enumerate
+//! interleavings. Production code pays nothing: [`OsScheduler`]'s hooks are
+//! empty inlinable defaults and the OS remains in charge.
+//!
+//! The contract, in the order a worker hits the hooks:
+//!
+//! 1. [`Scheduler::actor_started`] — once, before the worker's first fetch.
+//!    A controlling scheduler may block here until the actor is picked, so
+//!    the schedule is independent of OS thread-spawn timing.
+//! 2. [`Scheduler::lock_acquire`] — immediately before locking deque `lock`.
+//!    A controlling scheduler blocks until it grants the (virtual) lock;
+//!    because it serialises actors, the real `Mutex` behind it is then
+//!    uncontended and deadlock shows up as a virtual wait cycle instead of
+//!    a hung process.
+//! 3. [`Scheduler::lock_release`] — after the guard has been dropped.
+//! 4. [`Scheduler::progress`] — after completing a unit of work (a task).
+//! 5. [`Scheduler::yield_now`] — the worker found nothing to do but the
+//!    batch is not finished. A controlling scheduler should block the actor
+//!    until some other actor reports [`Scheduler::progress`], keeping the
+//!    schedule space finite (an OS scheduler just yields the time slice).
+//! 6. [`Scheduler::actor_finished`] — once, when the worker retires.
+//!
+//! Actor ids are worker indices; lock ids are deque (= worker) indices.
+
+/// Scheduling-decision hooks for [`crate::Pool`] batches. See the module
+/// docs for the calling contract.
+pub trait Scheduler: Sync {
+    /// The actor is about to start running. May block until scheduled.
+    fn actor_started(&self, _actor: usize) {}
+    /// The actor will not run again.
+    fn actor_finished(&self, _actor: usize) {}
+    /// The actor is about to lock deque `_lock`. Blocks until granted.
+    fn lock_acquire(&self, _actor: usize, _lock: usize) {}
+    /// The actor has dropped the guard for deque `_lock`.
+    fn lock_release(&self, _actor: usize, _lock: usize) {}
+    /// The actor completed a unit of work.
+    fn progress(&self, _actor: usize) {}
+    /// The actor has nothing to do but the batch is unfinished.
+    fn yield_now(&self, _actor: usize) {
+        std::thread::yield_now();
+    }
+}
+
+/// The production scheduler: all hooks are no-ops and the operating system
+/// schedules threads as usual.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsScheduler;
+
+impl Scheduler for OsScheduler {}

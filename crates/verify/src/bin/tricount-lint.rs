@@ -1,0 +1,35 @@
+//! `tricount-lint` — the workspace's source-level concurrency lint pass.
+//!
+//! Scans every crate's `src/` tree for the three TC-L rules (lock held
+//! across a blocking call, double lock acquisition, unguarded blocking
+//! receive) and exits non-zero on any finding. Run from the workspace
+//! root, or pass the root as the first argument:
+//!
+//! ```text
+//! cargo run -p tricount-verify --bin tricount-lint
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tricount_verify::lint_workspace;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    match lint_workspace(&root) {
+        Ok(report) => {
+            print!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("tricount-lint: cannot scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

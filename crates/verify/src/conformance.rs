@@ -106,6 +106,51 @@ pub enum Violation {
         /// Words according to the trace.
         traced: u64,
     },
+    /// A receive with no matching send: the received `(from, seq)` pair
+    /// appears nowhere in the sender's trace, so the receive cannot be
+    /// happens-before-ordered after any send.
+    HbUnmatchedReceive {
+        /// The receiving PE.
+        pe: usize,
+        /// The claimed sender.
+        from: usize,
+        /// The sequence number carried by the orphaned receive.
+        seq: u64,
+    },
+    /// Point-to-point channels are FIFO per `(sender, receiver)` pair, so
+    /// receive sequence numbers from one sender must be strictly
+    /// increasing; a regression means a receive was recorded (or delivered)
+    /// before an earlier send's receive — not happens-after its own send's
+    /// predecessors.
+    HbReceiveReorder {
+        /// The receiving PE.
+        pe: usize,
+        /// The sender whose stream went backwards.
+        from: usize,
+        /// The out-of-order sequence number.
+        seq: u64,
+        /// The highest sequence number already received from `from`.
+        prev_seq: u64,
+    },
+    /// Collective epochs overlap on one PE: it entered a collective while
+    /// still inside another, or exited one it never entered. The runtime's
+    /// collectives are strictly sequential barriers; overlap means the
+    /// recorded order cannot have happened.
+    CollectiveOverlap {
+        /// The offending PE.
+        pe: usize,
+        /// Index of the offending event within the PE's stream.
+        index: usize,
+        /// Human-readable description of the overlap.
+        detail: String,
+    },
+    /// The happens-before sweep stalled: no PE's next event is enabled,
+    /// yet unprocessed events remain. The remaining events form a causal
+    /// cycle (e.g. a receive ordered before its send across a barrier).
+    HbCycle {
+        /// Each stuck PE's next pending event, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -165,6 +210,31 @@ impl fmt::Display for Violation {
                 f,
                 "PE {pe}: cost model metered {metered} {direction} words but the trace shows {traced}"
             ),
+            Violation::HbUnmatchedReceive { pe, from, seq } => write!(
+                f,
+                "PE {pe} received seq {seq} from PE {from}, but PE {from} never sent it"
+            ),
+            Violation::HbReceiveReorder {
+                pe,
+                from,
+                seq,
+                prev_seq,
+            } => write!(
+                f,
+                "PE {pe}: receive stream from PE {from} went backwards (seq {seq} after {prev_seq})"
+            ),
+            Violation::CollectiveOverlap { pe, index, detail } => {
+                write!(
+                    f,
+                    "PE {pe} event {index}: collective epoch overlap ({detail})"
+                )
+            }
+            Violation::HbCycle { detail } => {
+                write!(
+                    f,
+                    "happens-before sweep stalled on a causal cycle: {detail}"
+                )
+            }
         }
     }
 }

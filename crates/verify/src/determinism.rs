@@ -63,7 +63,7 @@ where
         p,
         &SimOptions {
             perturb_seed: None,
-            ..*base_opts
+            ..base_opts.clone()
         },
         &f,
     )
@@ -75,7 +75,7 @@ where
             p,
             &SimOptions {
                 perturb_seed: Some(seed),
-                ..*base_opts
+                ..base_opts.clone()
             },
             &f,
         )

@@ -6,5 +6,9 @@
 
 pub mod conformance;
 pub mod determinism;
+pub mod hb;
+pub mod lint;
 
 pub use conformance::{check_phase_names, check_trace, ConformanceReport, Violation};
+pub use hb::{check_hb, HbReport};
+pub use lint::{lint_source, lint_workspace, LintFinding, LintReport, LintScope};

@@ -1,0 +1,556 @@
+//! A source-level lint pass for concurrency rules clippy cannot express.
+//!
+//! Three rules, each encoding a bug class this workspace has actually
+//! faced or structurally fears:
+//!
+//! * **TC-L001** — a mutex guard held across a blocking call (`.recv()`,
+//!   `.recv_timeout(..)`, thread `.join()`) in the concurrency crates.
+//!   Blocking while holding a lock turns slow progress into deadlock the
+//!   moment the unblocking party needs that lock. `Condvar::wait` is
+//!   exempt: it releases the guard atomically — that pairing is the one
+//!   sanctioned way to block under a lock.
+//! * **TC-L002** — acquiring a second lock while one is already held (or
+//!   two `.lock()` calls in one statement) in the concurrency crates: the
+//!   exact shape of the PR 2 work-stealing deadlock, where a worker held
+//!   its own deque lock while locking a victim's.
+//! * **TC-L003** — a bare blocking `.recv()` anywhere in workspace library
+//!   sources outside `run_guarded`: unguarded indefinite blocking is
+//!   invisible to the deadlock watchdog.
+//!
+//! The scanner is deliberately syntactic: it strips comments and string
+//! literals, groups the rest into brace-tracked logical statements, and
+//! follows `let`-bound guards until their scope closes or they are
+//! `drop`ped. False positives are silenced at the site with a
+//! `// lint: allow(TC-Lxxx)` marker on the same line or the line above —
+//! a visible, greppable waiver, unlike a config-file exclusion. Scanning
+//! stops at the first `#[cfg(test)]` (test modules sit at the end of a
+//! file in this workspace); `tests/` directories are never scanned.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Rule identifier (`"TC-L001"` …).
+    pub rule: &'static str,
+    /// File the finding is in (as given to the scanner).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What the rule forbids, instantiated for this site.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}]",
+            self.file, self.line, self.message, self.rule
+        )
+    }
+}
+
+/// The verdict of a workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every finding, in path order.
+    pub findings: Vec<LintFinding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the scan found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        writeln!(
+            f,
+            "tricount-lint: {} file(s), {} finding(s)",
+            self.files_scanned,
+            self.findings.len()
+        )
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy)]
+pub struct LintScope {
+    /// TC-L001/TC-L002 apply (the file is in a concurrency crate).
+    pub concurrency: bool,
+}
+
+/// Replaces comments, string/char literals with spaces (newlines kept, so
+/// line numbers survive), and records `lint: allow(..)` markers per line.
+fn sanitize(src: &str) -> (String, Vec<Vec<String>>) {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut allows: Vec<Vec<String>> = vec![Vec::new()];
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            out.push(b'\n');
+            allows.push(Vec::new());
+            line += 1;
+            i += 1;
+        } else if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let end = src[i..].find('\n').map_or(bytes.len(), |o| i + o);
+            let comment = &src[i..end];
+            if let Some(pos) = comment.find("lint: allow(") {
+                let rest = &comment[pos + "lint: allow(".len()..];
+                if let Some(close) = rest.find(')') {
+                    allows[line].push(rest[..close].trim().to_string());
+                }
+            }
+            out.resize(out.len() + (end - i), b' ');
+            i = end;
+        } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let end = src[i + 2..]
+                .find("*/")
+                .map_or(bytes.len(), |o| i + 2 + o + 2);
+            for &b in &bytes[i..end] {
+                if b == b'\n' {
+                    out.push(b'\n');
+                    allows.push(Vec::new());
+                    line += 1;
+                } else {
+                    out.push(b' ');
+                }
+            }
+            i = end;
+        } else if c == b'"' {
+            // String literal (escapes honoured); raw strings are close
+            // enough under this rule for lint purposes.
+            out.push(b' ');
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => {
+                        out.push(b' ');
+                        if i + 1 < bytes.len() {
+                            out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
+                            if bytes[i + 1] == b'\n' {
+                                allows.push(Vec::new());
+                                line += 1;
+                            }
+                        }
+                        i += 2;
+                    }
+                    b'"' => {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        out.push(b'\n');
+                        allows.push(Vec::new());
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+            }
+        } else if c == b'\'' {
+            // Char literal if it closes within a few bytes ('a', '\n',
+            // '\u{..}' is longer but contains no braces we care about);
+            // otherwise a lifetime — leave it.
+            let lit_end = (i + 2..(i + 5).min(bytes.len())).find(|&j| bytes[j] == b'\'');
+            if bytes.get(i + 1) == Some(&b'\\') || lit_end == Some(i + 2) {
+                let end = (lit_end.unwrap_or(i + 1) + 1).min(bytes.len());
+                out.resize(out.len() + (end - i), b' ');
+                i = end;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), allows)
+}
+
+struct Guard {
+    name: String,
+    depth: usize,
+}
+
+/// Lints one file's source text.
+pub fn lint_source(file: &str, src: &str, scope: LintScope) -> Vec<LintFinding> {
+    let scan_end = src.find("#[cfg(test)]").unwrap_or(src.len());
+    let (clean, allows) = sanitize(&src[..scan_end]);
+    // A waiver anywhere on the statement's lines (or the line above it)
+    // counts: multi-line method chains carry the marker on the `.lock()`
+    // line, not the `let` line.
+    let allowed = |first: usize, last: usize, rule: &str| -> bool {
+        (first.saturating_sub(1)..=last)
+            .any(|l| allows.get(l).is_some_and(|v| v.iter().any(|r| r == rule)))
+    };
+
+    let mut findings = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut fns: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt = String::new();
+    let mut stmt_line = 0usize;
+    let mut line = 0usize;
+    let mut pending_fn: Option<String> = None;
+
+    let flush = |stmt: &mut String,
+                 stmt_line: usize,
+                 end_line: usize,
+                 depth: usize,
+                 opens_block: bool,
+                 guards: &mut Vec<Guard>,
+                 fns: &[(String, usize)],
+                 findings: &mut Vec<LintFinding>| {
+        let s = stmt.trim();
+        if s.is_empty() {
+            stmt.clear();
+            return;
+        }
+        let locks = s.matches(".lock(").count();
+        let in_run_guarded = fns.iter().any(|(n, _)| n == "run_guarded");
+        // A guard is born only when the chain after `.lock(` is nothing
+        // but unwrap-family adapters: `let v = q.lock().unwrap().pop()`
+        // binds the popped value — its guard is a temporary that dies at
+        // the semicolon.
+        let is_guard_let = s.starts_with("let ")
+            && locks > 0
+            && s[s.rfind(".lock(").unwrap_or(0)..]
+                .split('.')
+                .skip(2)
+                .all(|piece| {
+                    let ident: String = piece
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    matches!(
+                        ident.as_str(),
+                        "unwrap" | "expect" | "unwrap_or_else" | "map_err"
+                    )
+                });
+        let line_no = stmt_line + 1;
+
+        if scope.concurrency {
+            if locks >= 2 && !allowed(stmt_line, end_line, "TC-L002") {
+                findings.push(LintFinding {
+                    rule: "TC-L002",
+                    file: file.to_string(),
+                    line: line_no,
+                    message: "two lock acquisitions in one statement".to_string(),
+                });
+            }
+            if !guards.is_empty() && locks > 0 && !allowed(stmt_line, end_line, "TC-L002") {
+                findings.push(LintFinding {
+                    rule: "TC-L002",
+                    file: file.to_string(),
+                    line: line_no,
+                    message: format!(
+                        "lock acquired while guard `{}` is held",
+                        guards[guards.len() - 1].name
+                    ),
+                });
+            }
+            if !guards.is_empty() && !s.contains(".wait(") {
+                for blocking in [".recv()", ".recv_timeout(", ".join()"] {
+                    if s.contains(blocking) && !allowed(stmt_line, end_line, "TC-L001") {
+                        findings.push(LintFinding {
+                            rule: "TC-L001",
+                            file: file.to_string(),
+                            line: line_no,
+                            message: format!(
+                                "blocking call `{blocking}` while guard `{}` is held",
+                                guards[guards.len() - 1].name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if s.contains(".recv()") && !in_run_guarded && !allowed(stmt_line, end_line, "TC-L003") {
+            findings.push(LintFinding {
+                rule: "TC-L003",
+                file: file.to_string(),
+                line: line_no,
+                message: "bare blocking `.recv()` outside `run_guarded`".to_string(),
+            });
+        }
+        if is_guard_let {
+            let name = s
+                .trim_start_matches("let ")
+                .trim_start_matches("mut ")
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .unwrap_or("")
+                .to_string();
+            guards.push(Guard { name, depth });
+        } else if opens_block && locks > 0 && !allowed(stmt_line, end_line, "TC-L002") {
+            // The statement was interrupted by `{` — a closure body, match
+            // arm block, or `if let` — so its `.lock()` temporary is still
+            // alive inside the block (temporaries live to the end of the
+            // *statement*, not the fragment). This is the exact PR 2
+            // shape: `q.lock()…pop_front().or_else(|| steal…)` keeps the
+            // own-deque guard across every steal. Track it as an anonymous
+            // guard scoped to the opened block.
+            guards.push(Guard {
+                name: "(lock temporary held across this block)".to_string(),
+                depth: depth + 1,
+            });
+        }
+        if s.starts_with("drop(") || s.contains(" drop(") {
+            let inner = &s[s.find("drop(").map_or(0, |p| p + 5)..];
+            let arg: String = inner
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|g| g.name != arg);
+        }
+        stmt.clear();
+    };
+
+    for ch in clean.chars() {
+        match ch {
+            '\n' => {
+                line += 1;
+                stmt.push(' ');
+            }
+            '{' => {
+                // A statement ending in `{` opens a scope; a `fn` header
+                // registers the function for the run_guarded exemption.
+                if let Some(pos) = stmt.find("fn ") {
+                    let name: String = stmt[pos + 3..]
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        pending_fn = Some(name);
+                    }
+                }
+                flush(
+                    &mut stmt,
+                    stmt_line,
+                    line,
+                    depth,
+                    true,
+                    &mut guards,
+                    &fns,
+                    &mut findings,
+                );
+                if let Some(name) = pending_fn.take() {
+                    fns.push((name, depth));
+                }
+                depth += 1;
+                stmt_line = line;
+            }
+            '}' => {
+                flush(
+                    &mut stmt,
+                    stmt_line,
+                    line,
+                    depth,
+                    false,
+                    &mut guards,
+                    &fns,
+                    &mut findings,
+                );
+                depth = depth.saturating_sub(1);
+                // A guard dies when its block closes (registered at body
+                // depth); a fn leaves scope when depth returns to its
+                // header's depth.
+                guards.retain(|g| g.depth <= depth);
+                fns.retain(|(_, d)| *d < depth);
+                stmt_line = line;
+            }
+            ';' => {
+                flush(
+                    &mut stmt,
+                    stmt_line,
+                    line,
+                    depth,
+                    false,
+                    &mut guards,
+                    &fns,
+                    &mut findings,
+                );
+                stmt_line = line;
+            }
+            _ => {
+                if stmt.is_empty() && !ch.is_whitespace() {
+                    stmt_line = line;
+                }
+                stmt.push(ch);
+            }
+        }
+    }
+    flush(
+        &mut stmt,
+        stmt_line,
+        line,
+        depth,
+        false,
+        &mut guards,
+        &fns,
+        &mut findings,
+    );
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every crate's `src/` tree under `root/crates` (integration
+/// `tests/` directories are out of scope — they run under the watchdog
+/// harness by construction).
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let crates_dir = root.join("crates");
+    let mut crates: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    for krate in crates {
+        let name = krate.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let scope = LintScope {
+            concurrency: matches!(name, "par" | "comm"),
+        };
+        let mut files = Vec::new();
+        collect_rs(&krate.join("src"), &mut files);
+        for path in files {
+            let src = std::fs::read_to_string(&path)?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            report.findings.extend(lint_source(&label, &src, scope));
+            report.files_scanned += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONC: LintScope = LintScope { concurrency: true };
+    const PLAIN: LintScope = LintScope { concurrency: false };
+
+    fn rules(src: &str, scope: LintScope) -> Vec<&'static str> {
+        lint_source("t.rs", src, scope)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn chained_lock_across_closure_is_flagged() {
+        // The PR 2 shape: the or_else closure runs while the own-deque
+        // lock temporary is still alive.
+        let src = "fn f() {\n  let job = q.lock().unwrap().pop_front().or_else(|| {\n    v.lock().unwrap().pop_back()\n  });\n}";
+        assert_eq!(rules(src, CONC), vec!["TC-L002"]);
+    }
+
+    #[test]
+    fn value_extraction_is_not_a_guard() {
+        let src = "fn f() {\n  let own = q.lock().unwrap().pop_front();\n  let v = victim.lock().unwrap().pop_back();\n}";
+        assert!(rules(src, CONC).is_empty());
+    }
+
+    #[test]
+    fn flags_double_lock_in_one_statement() {
+        let src = "fn f() { let x = a.lock().unwrap().merge(b.lock().unwrap()); }";
+        assert_eq!(rules(src, CONC), vec!["TC-L002"]);
+    }
+
+    #[test]
+    fn flags_second_lock_under_live_guard() {
+        let src = "fn f() {\n  let g = own.lock().unwrap();\n  let v = victim.lock().unwrap();\n}";
+        assert_eq!(rules(src, CONC), vec!["TC-L002"]);
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        let src =
+            "fn f() {\n  { let g = own.lock().unwrap(); }\n  let v = victim.lock().unwrap();\n}";
+        assert!(rules(src, CONC).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src =
+            "fn f() {\n  let g = own.lock().unwrap();\n  drop(g);\n  let v = victim.lock().unwrap();\n}";
+        assert!(rules(src, CONC).is_empty());
+    }
+
+    #[test]
+    fn flags_blocking_recv_under_guard() {
+        let src = "fn f() {\n  let g = m.lock().unwrap();\n  let x = rx.recv_timeout(d);\n}";
+        assert_eq!(rules(src, CONC), vec!["TC-L001"]);
+    }
+
+    #[test]
+    fn condvar_wait_is_exempt() {
+        let src = "fn f() {\n  let g = m.lock().unwrap();\n  let g = cv.wait(g).unwrap();\n}";
+        assert!(rules(src, CONC).is_empty());
+    }
+
+    #[test]
+    fn flags_bare_recv_everywhere() {
+        let src = "fn f() { let x = rx.recv(); }";
+        assert_eq!(rules(src, PLAIN), vec!["TC-L003"]);
+    }
+
+    #[test]
+    fn run_guarded_may_recv() {
+        let src = "fn run_guarded() { let x = rx.recv(); }";
+        assert!(rules(src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "fn f() {\n  let g = a.lock().unwrap();\n  let v = b.lock().unwrap(); // lint: allow(TC-L002)\n}";
+        assert!(rules(src, CONC).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_are_ignored() {
+        let src = "fn f() {\n  // a.lock() b.lock()\n  let s = \".lock( .lock(\";\n}";
+        assert!(rules(src, CONC).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { let x = rx.recv(); }\n}";
+        assert!(rules(src, PLAIN).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! The workspace's own sources pass `tricount-lint`, and the waivers in
+//! the tree are load-bearing: stripping them re-flags the sites.
+
+use std::path::Path;
+
+use tricount_verify::{lint_source, lint_workspace, LintScope};
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(report.is_clean(), "{report}");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+}
+
+/// The `mc-regressions` steal path in `tricount-par` carries
+/// `lint: allow(TC-L002)` waivers because it deliberately re-creates the
+/// PR 2 double-lock shape. Stripping the waivers must re-flag it —
+/// proving the rule still sees through the exact bug the model checker
+/// hunts.
+#[test]
+fn buggy_steal_path_is_flagged_without_its_waiver() {
+    let par = workspace_root().join("crates/par/src/lib.rs");
+    let src = std::fs::read_to_string(&par).expect("read par sources");
+    assert!(
+        src.contains("lint: allow(TC-L002)"),
+        "the resurrected bug must carry its waiver"
+    );
+    let stripped = src.replace("lint: allow(TC-L002)", "");
+    let findings = lint_source("par/src/lib.rs", &stripped, LintScope { concurrency: true });
+    assert!(
+        findings.iter().any(|f| f.rule == "TC-L002"),
+        "waiver-stripped buggy path must trip TC-L002: {findings:?}"
+    );
+}

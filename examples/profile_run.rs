@@ -27,7 +27,7 @@ fn main() {
     let opts = SimOptions {
         timing: Some(model),
         record_trace: true,
-        perturb_seed: None,
+        ..SimOptions::default()
     };
     let (r, trace) =
         cetric::core::dist::run_on_sim(dg, alg, &alg.config(), &opts).expect("run succeeds");
