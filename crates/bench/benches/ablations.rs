@@ -136,7 +136,8 @@ fn main() {
     ];
     for (label, part) in strategies {
         let dg = DistGraph::with_partition(&g, part);
-        let r = cetric::core::run_on(dg, Algorithm::Ditric, &Algorithm::Ditric.config()).unwrap();
+        let r = cetric::core::run_on_default(dg, Algorithm::Ditric, &Algorithm::Ditric.config())
+            .unwrap();
         // work imbalance: busiest PE vs average
         let per_rank_work: Vec<u64> = (0..p)
             .map(|rk| {

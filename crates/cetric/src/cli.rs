@@ -3,7 +3,7 @@
 //! from the shell. Argument parsing is hand-rolled (no dependency) and unit
 //! tested; the binary in `src/bin/tricount.rs` is a thin wrapper.
 
-use tricount_comm::{CostModel, Routing};
+use tricount_comm::{CostModel, Routing, TransportKind};
 use tricount_core::dist::{enumerate, lcc};
 use tricount_core::{count_with, seq, Aggregation, Algorithm, DistConfig};
 use tricount_gen::{Dataset, Family};
@@ -69,6 +69,8 @@ pub enum Command {
         p: usize,
         /// How many extreme vertices to print.
         top: usize,
+        /// Data plane carrying the run.
+        transport: TransportKind,
     },
     /// Enumerate triangles.
     Enumerate {
@@ -78,6 +80,8 @@ pub enum Command {
         p: usize,
         /// Print at most this many triples.
         limit: usize,
+        /// Data plane carrying the run.
+        transport: TransportKind,
     },
     /// Print instance statistics.
     Info {
@@ -99,6 +103,8 @@ pub enum Command {
         json: bool,
         /// Write the engine's Prometheus text exposition here after serving.
         metrics_out: Option<String>,
+        /// Data plane carrying the engine's runs.
+        transport: TransportKind,
     },
     /// Load the graph into a resident engine and stream batched edge
     /// updates through the incremental triangle-maintenance path.
@@ -112,6 +118,8 @@ pub enum Command {
         batch: String,
         /// Print the machine-readable stats snapshot after applying.
         json: bool,
+        /// Data plane carrying the engine's runs.
+        transport: TransportKind,
     },
     /// Run the concurrency checking suite: happens-before analysis and
     /// protocol conformance of a traced run, exhaustive pool-interleaving
@@ -194,6 +202,16 @@ fn apply_kernel_opts(
         config.kernels.chunking = workers > 1;
     }
     Ok(())
+}
+
+/// Parses the `--transport` override (absent = [`TransportKind::Sim`]).
+fn parse_transport(s: Option<&str>) -> Result<TransportKind, String> {
+    match s {
+        None => Ok(TransportKind::Sim),
+        Some(t) => {
+            TransportKind::parse(t).ok_or_else(|| format!("unknown transport {t:?} (sim|threads)"))
+        }
+    }
 }
 
 fn parse_algorithm(s: &str) -> Result<Option<Algorithm>, String> {
@@ -305,6 +323,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 };
             }
             apply_kernel_opts(&mut config, get("kernel"), get("pool-workers"))?;
+            config.transport = parse_transport(get("transport"))?;
             let model = match get("model").unwrap_or("supermuc") {
                 "supermuc" => CostModel::supermuc(),
                 "cloud" => CostModel::cloud(),
@@ -323,11 +342,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             source,
             p,
             top: parse_u64("top", 10)? as usize,
+            transport: parse_transport(get("transport"))?,
         }),
         "enumerate" => Ok(Command::Enumerate {
             source,
             p,
             limit: parse_u64("limit", 20)? as usize,
+            transport: parse_transport(get("transport"))?,
         }),
         "info" => Ok(Command::Info { source }),
         "serve" => Ok(Command::Serve {
@@ -337,6 +358,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             seed: parse_u64("workload-seed", 42)?,
             json: get("json").is_some_and(|v| v == "true" || v == "1"),
             metrics_out: get("metrics-out").map(|v| v.to_string()),
+            transport: parse_transport(get("transport"))?,
         }),
         "update" => Ok(Command::Update {
             source,
@@ -345,6 +367,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .ok_or("update needs --batch FILE (`+ u v` / `- u v` lines)")?
                 .to_string(),
             json: get("json").is_some_and(|v| v == "true" || v == "1"),
+            transport: parse_transport(get("transport"))?,
         }),
         "check" => {
             let algorithm = parse_algorithm(get("alg").unwrap_or("cetric"))?
@@ -375,6 +398,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 };
             }
             apply_kernel_opts(&mut config, get("kernel"), get("pool-workers"))?;
+            config.transport = parse_transport(get("transport"))?;
             let model = match get("model").unwrap_or("supermuc") {
                 "supermuc" => CostModel::supermuc(),
                 "cloud" => CostModel::cloud(),
@@ -399,7 +423,7 @@ fn usage() -> String {
     "usage: tricount <generate|count|lcc|enumerate|info|serve|update|profile|check> \
      [--input FILE | --family gnm|rgg2d|rhg|rmat | --dataset NAME] \
      [--n N] [--seed S] [--p P] [--alg A] [--model supermuc|cloud] \
-     [--routing direct|grid] [--delta-factor F] \
+     [--routing direct|grid] [--delta-factor F] [--transport sim|threads] \
      [--kernel auto|merge|gallop|binary|bitmap] [--pool-workers N] \
      [--top K] [--limit K] \
      [--queries Q] [--workload-seed S] [--batch UPDATES.txt] [--json 1] \
@@ -477,9 +501,18 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 }
             }
         }
-        Command::Lcc { source, p, top } => {
+        Command::Lcc {
+            source,
+            p,
+            top,
+            transport,
+        } => {
             let g = load_source(&source)?;
-            let r = lcc::lcc(&g, p, &DistConfig::default());
+            let cfg = DistConfig {
+                transport,
+                ..DistConfig::default()
+            };
+            let r = lcc::lcc(&g, p, &cfg);
             println!("triangles: {}", r.triangles);
             let mut by_degree: Vec<u64> = g.vertices().collect();
             by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
@@ -497,9 +530,18 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 );
             }
         }
-        Command::Enumerate { source, p, limit } => {
+        Command::Enumerate {
+            source,
+            p,
+            limit,
+            transport,
+        } => {
             let g = load_source(&source)?;
-            let tris = enumerate::enumerate(&g, p, &DistConfig::default());
+            let cfg = DistConfig {
+                transport,
+                ..DistConfig::default()
+            };
+            let tris = enumerate::enumerate(&g, p, &cfg);
             println!("{} triangles", tris.len());
             for (a, b, c) in tris.iter().take(limit) {
                 println!("{a} {b} {c}");
@@ -531,6 +573,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             p,
             batch,
             json,
+            transport,
         } => {
             use tricount_delta::parse_batches;
             use tricount_engine::{Engine, EngineConfig};
@@ -540,7 +583,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             if batches.is_empty() {
                 return Err(format!("{batch}: no update operations found"));
             }
-            let mut engine = Engine::build(&g, EngineConfig::new(p));
+            let mut ecfg = EngineConfig::new(p);
+            ecfg.dist.transport = transport;
+            let mut engine = Engine::build(&g, ecfg);
             println!(
                 "resident count before updates: {} (epoch {})",
                 engine.resident_triangles(),
@@ -623,7 +668,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 ..SimOptions::default()
             };
             let (r, trace, dispatch) =
-                tricount_core::dist::run_on_sim_stats(dg, algorithm, &config, &opts)
+                tricount_core::dist::run_on_stats(dg, algorithm, &config, &opts)
                     .map_err(|e| e.to_string())?;
             let trace = trace.ok_or("run recorded no trace (trace feature missing?)")?;
             println!("triangles: {}", r.triangles);
@@ -675,10 +720,13 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             seed,
             json,
             metrics_out,
+            transport,
         } => {
             use tricount_engine::{scripted_workload, Engine, EngineConfig};
             let g = load_source(&source)?;
-            let mut engine = Engine::build(&g, EngineConfig::new(p));
+            let mut ecfg = EngineConfig::new(p);
+            ecfg.dist.transport = transport;
+            let mut engine = Engine::build(&g, ecfg);
             let workload = scripted_workload(queries, g.num_vertices(), seed);
             let mut answered = 0usize;
             let mut failed = 0usize;
@@ -826,12 +874,39 @@ mod tests {
         assert!(parse(&args("count --family gnm --alg nope")).is_err());
         assert!(parse(&args("generate --input x.txt -o y.txt")).is_err());
         assert!(parse(&args("count --family gnm --model dialup")).is_err());
+        assert!(parse(&args("count --family gnm --transport carrier-pigeon")).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_transport_override() {
+        let cmd = parse(&args("count --family gnm --transport threads")).unwrap();
+        match cmd {
+            Command::Count { config, .. } => {
+                assert_eq!(config.transport, TransportKind::Threads)
+            }
+            _ => panic!("wrong command"),
+        }
+        // default stays on the simulator
+        let cmd = parse(&args("lcc --family gnm")).unwrap();
+        match cmd {
+            Command::Lcc { transport, .. } => assert_eq!(transport, TransportKind::Sim),
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]
     fn execute_count_on_generated_graph() {
         let cmd = parse(&args("count --family rgg2d --n 512 --p 4 --alg cetric")).unwrap();
+        execute(cmd).unwrap();
+    }
+
+    #[test]
+    fn execute_count_on_threads_transport() {
+        let cmd = parse(&args(
+            "count --family rgg2d --n 512 --p 4 --alg cetric --transport threads",
+        ))
+        .unwrap();
         execute(cmd).unwrap();
     }
 

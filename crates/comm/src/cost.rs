@@ -57,6 +57,21 @@ impl CostModel {
         }
     }
 
+    /// A model built from *measured* parameters of the host the threads
+    /// transport runs on. Feed it the α/β estimates emitted by the
+    /// `tricount-pingpong` probe (`alpha_seconds`,
+    /// `beta_seconds_per_word`) — and, optionally, a measured per-comparison
+    /// cost — so modeled times and wall clock are finally in the same
+    /// currency. Negative inputs (a degenerate least-squares fit on a noisy
+    /// host) are clamped to zero.
+    pub fn calibrated(alpha: f64, beta: f64, t_op: f64) -> Self {
+        CostModel {
+            alpha: alpha.max(0.0),
+            beta: beta.max(0.0),
+            t_op: t_op.max(0.0),
+        }
+    }
+
     /// Cost of a single point-to-point message of `words` machine words.
     #[inline]
     pub fn message(&self, words: u64) -> f64 {
@@ -101,6 +116,14 @@ mod tests {
         let m = CostModel::comm_only(1.0, 0.5);
         assert_eq!(m.message(0), 1.0);
         assert_eq!(m.message(4), 3.0);
+    }
+
+    #[test]
+    fn calibrated_clamps_degenerate_fits() {
+        let m = CostModel::calibrated(-1.0e-9, 2.0e-9, -0.5e-9);
+        assert_eq!(m.alpha, 0.0);
+        assert_eq!(m.beta, 2.0e-9);
+        assert_eq!(m.t_op, 0.0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use queue::Fault;
 pub use queue::{Envelope, MessageQueue, QueueConfig, Routing, HEADER_WORDS};
 pub use runtime::{
     run, run_guarded, run_sim, run_timed, Ctx, DeadlockReport, DeliveryPick, PeSnapshot, RunOutput,
-    SimOptions, SimOutput,
+    SimOptions, SimOutput, TransportKind,
 };
 pub use stats::{Counters, PhaseStats, RunStats};
 pub use trace::{hash_words, CollKind, SpanKind, SpanRecord, SpanStamp, Trace, TraceEvent};

@@ -1,6 +1,6 @@
-//! The simulated distributed machine: `p` logical PEs running as threads,
-//! exchanging messages through channels, with every communication action
-//! metered (see [`crate::stats`]).
+//! The distributed machine: `p` logical PEs running as threads, exchanging
+//! messages through a pluggable transport (`tricount-net`), with every
+//! communication action metered (see [`crate::stats`]).
 //!
 //! A [`run`] call plays the role of `mpirun`: it spawns one thread
 //! per PE, hands each a [`Ctx`] (the communicator), runs the given rank
@@ -8,6 +8,19 @@
 //! through shared memory but *charged* with the standard tree/butterfly cost
 //! formulas, so modeled times match what a real MPI implementation of the
 //! paper's algorithms would pay.
+//!
+//! All protocol code talks to the data plane through the
+//! [`Endpoint`](tricount_net::Endpoint) trait; [`SimOptions::transport`]
+//! selects the backend:
+//!
+//! * [`TransportKind::Sim`] (default) — the metered simulator data plane,
+//!   the substrate of the determinism/conformance/model-checking
+//!   harnesses;
+//! * [`TransportKind::Threads`] — a real parallel backend (per-pair SPSC
+//!   queues, spin barrier). The modeled meters keep running unchanged —
+//!   counts and counters match the simulator — while the recorded per-phase
+//!   **wall clock** ([`crate::PhaseStats::wall_per_rank`]) becomes honest
+//!   parallel time instead of simulator overhead.
 //!
 //! Beyond the plain [`run`]/[`run_timed`] entry points, the runtime supports
 //! the verification harness of the `tricount-verify` crate through
@@ -25,37 +38,20 @@
 //!   collective, delivered/expected envelopes) plus a wait-for graph.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use tricount_net::Endpoint;
+pub use tricount_net::TransportKind;
 
 use crate::cost::{ceil_log2, CostModel};
 use crate::stats::{Counters, PhaseStats, RunStats};
 use crate::trace::{CollKind, SpanKind, SpanRecord, SpanStamp, Trace, TraceEvent};
 
-/// A raw point-to-point message: the sending rank and a word payload.
-#[derive(Debug)]
-pub struct RawMsg {
-    /// Immediate sender (for relayed traffic this is the proxy, not the
-    /// originator).
-    pub src: usize,
-    /// Per-`(src, dst)` sequence number assigned at send time; pairs the
-    /// send with its delivery in traces and delivery-order hooks.
-    pub seq: u64,
-    /// Payload machine words.
-    pub words: Vec<u64>,
-    /// Simulated arrival time at the receiver (timed runs; 0 otherwise).
-    pub arrival: f64,
-}
-
-/// Scratch space for shared-memory collectives.
-#[derive(Debug)]
-struct CollScratch {
-    /// Per-rank deposit slot (allgather/allreduce).
-    slots: Vec<Vec<u64>>,
-    /// `mat[src][dst]` deposit matrix (all-to-all).
-    mat: Vec<Vec<Vec<u64>>>,
-}
+/// A raw point-to-point message: the sending rank and a word payload
+/// (the transport's message type, re-exported under its historical name).
+pub use tricount_net::Msg as RawMsg;
 
 /// Operation codes published by each PE for the deadlock watchdog.
 const OP_RUNNING: u64 = 0;
@@ -88,14 +84,14 @@ fn op_name(code: u64) -> &'static str {
     }
 }
 
-/// State shared by all PEs of one run.
+/// Control-plane state shared by all PEs of one run: meters, watchdog
+/// signals and clock slots. The data plane (queues, barrier, collective
+/// scratch) lives behind each PE's [`Endpoint`].
 pub(crate) struct Shared {
     p: usize,
-    /// Wall-clock origin of the run; span stamps are relative to this.
+    /// Wall-clock origin of the run; span stamps and per-phase wall times
+    /// are relative to this.
     epoch: Instant,
-    senders: Vec<Sender<RawMsg>>,
-    barrier: Barrier,
-    coll: Mutex<CollScratch>,
     /// Sparse-exchange termination: envelopes expected per destination.
     pub(crate) expected: Vec<AtomicU64>,
     /// Ranks that finished producing in the current sparse exchange.
@@ -116,23 +112,10 @@ pub(crate) struct Shared {
     delivered_now: Vec<AtomicU64>,
 }
 
-fn make_shared(p: usize) -> (Shared, Vec<Receiver<RawMsg>>) {
-    let mut senders = Vec::with_capacity(p);
-    let mut receivers = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (s, r) = mpsc::channel();
-        senders.push(s);
-        receivers.push(r);
-    }
-    let shared = Shared {
+fn make_shared(p: usize) -> Shared {
+    Shared {
         p,
         epoch: Instant::now(),
-        senders,
-        barrier: Barrier::new(p),
-        coll: Mutex::new(CollScratch {
-            slots: vec![Vec::new(); p],
-            mat: vec![Vec::new(); p],
-        }),
         expected: (0..p).map(|_| AtomicU64::new(0)).collect(),
         producers_done: AtomicUsize::new(0),
         satisfied: AtomicUsize::new(0),
@@ -141,8 +124,7 @@ fn make_shared(p: usize) -> (Shared, Vec<Receiver<RawMsg>>) {
         op_state: (0..p).map(|_| AtomicU64::new(OP_RUNNING)).collect(),
         buffered_now: (0..p).map(|_| AtomicU64::new(0)).collect(),
         delivered_now: (0..p).map(|_| AtomicU64::new(0)).collect(),
-    };
-    (shared, receivers)
+    }
 }
 
 /// Chooses which pending message a PE delivers next. The model checker's
@@ -158,9 +140,15 @@ pub trait DeliveryPick: Send + Sync {
     fn pick(&self, rank: usize, pending: &[(usize, u64)]) -> usize;
 }
 
-/// Options of a simulated run beyond the rank program itself.
+/// Options of a run beyond the rank program itself.
 #[derive(Clone, Default)]
 pub struct SimOptions {
+    /// Which data plane carries the run's communication. The default
+    /// [`TransportKind::Sim`] keeps the metered simulator semantics;
+    /// [`TransportKind::Threads`] executes the same protocol in real
+    /// parallel over shared memory (identical counts and comm meters,
+    /// honest wall clock).
+    pub transport: TransportKind,
     /// Enable the overlap-aware simulated clock under this cost model.
     pub timing: Option<CostModel>,
     /// Record a [`Trace`] (requires the `trace` cargo feature; without it
@@ -177,6 +165,7 @@ pub struct SimOptions {
 impl std::fmt::Debug for SimOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimOptions")
+            .field("transport", &self.transport)
             .field("timing", &self.timing)
             .field("record_trace", &self.record_trace)
             .field("perturb_seed", &self.perturb_seed)
@@ -201,6 +190,14 @@ impl SimOptions {
             ..SimOptions::default()
         }
     }
+
+    /// Options running on the given transport backend.
+    pub fn on(transport: TransportKind) -> Self {
+        SimOptions {
+            transport,
+            ..SimOptions::default()
+        }
+    }
 }
 
 /// SplitMix64 step — the perturbation RNG.
@@ -218,7 +215,8 @@ fn splitmix(state: &mut u64) -> u64 {
 pub struct Ctx<'s> {
     rank: usize,
     pub(crate) shared: &'s Shared,
-    receiver: Receiver<RawMsg>,
+    /// This rank's handle on the data plane (sim or threads backend).
+    endpoint: Box<dyn Endpoint>,
     counters: Counters,
     phases: Vec<PhaseRecord>,
     sent_peer_seen: Vec<bool>,
@@ -250,6 +248,8 @@ pub struct Ctx<'s> {
 struct PhaseRecord {
     name: String,
     counters: Counters,
+    /// Wall clock at phase end, nanoseconds since the run's epoch.
+    wall_nanos: u64,
 }
 
 impl<'s> Ctx<'s> {
@@ -263,6 +263,12 @@ impl<'s> Ctx<'s> {
     #[inline]
     pub fn num_ranks(&self) -> usize {
         self.shared.p
+    }
+
+    /// Which transport backend carries this run's communication.
+    #[inline]
+    pub fn transport(&self) -> TransportKind {
+        self.endpoint.kind()
     }
 
     /// Read access to the running counters.
@@ -484,24 +490,24 @@ impl<'s> Ctx<'s> {
             words: words.len() as u64,
             seq,
         });
-        // A closed inbox means the destination thread is gone — that only
-        // happens when a guarded run has been abandoned and its leaked
-        // threads are winding down; the message is moot, not a panic.
-        let _ = self.shared.senders[to].send(RawMsg {
-            src: self.rank,
-            seq,
-            words,
-            arrival,
-        });
+        self.endpoint.send(
+            to,
+            RawMsg {
+                src: self.rank,
+                seq,
+                words,
+                arrival,
+            },
+        );
     }
 
     /// Non-blocking receive of one message. Under perturbed runs the
-    /// channel is drained into a holding pen and a seeded-random pending
+    /// transport is drained into a holding pen and a seeded-random pending
     /// message is delivered instead of the FIFO head; under an external
     /// [`DeliveryPick`] hook ([`SimOptions::delivery`]) the chooser decides.
     pub fn try_recv_raw(&mut self) -> Option<RawMsg> {
         let m = if let Some(pick) = self.delivery.clone() {
-            while let Ok(m) = self.receiver.try_recv() {
+            while let Some(m) = self.endpoint.try_recv() {
                 self.pending.push(m);
             }
             if self.pending.is_empty() {
@@ -520,7 +526,7 @@ impl<'s> Ctx<'s> {
                 Some(self.pending.swap_remove(order[k]))
             }
         } else if self.perturb {
-            while let Ok(m) = self.receiver.try_recv() {
+            while let Some(m) = self.endpoint.try_recv() {
                 self.pending.push(m);
             }
             if self.pending.is_empty() {
@@ -530,7 +536,7 @@ impl<'s> Ctx<'s> {
                 Some(self.pending.swap_remove(i))
             }
         } else {
-            self.receiver.try_recv().ok()
+            self.endpoint.try_recv()
         };
         let m = m?;
         self.beat();
@@ -554,7 +560,7 @@ impl<'s> Ctx<'s> {
     }
 
     /// Barrier without cost charge (internal synchronisation of the
-    /// simulator itself). Publishes "barrier" as the blocked-in op while
+    /// runtime itself). Publishes "barrier" as the blocked-in op while
     /// waiting unless an enclosing collective already claimed the slot, so
     /// a PE stuck in a bare sync (e.g. the end-of-run phase barrier) is
     /// diagnosable by the deadlock watchdog.
@@ -565,7 +571,7 @@ impl<'s> Ctx<'s> {
         if prev == OP_RUNNING {
             st.store(coll_op_code(CollKind::Barrier), Ordering::Relaxed);
         }
-        self.shared.barrier.wait();
+        self.endpoint.barrier();
         st.store(prev, Ordering::Relaxed);
     }
 
@@ -638,25 +644,8 @@ impl<'s> Ctx<'s> {
     }
 
     fn allgatherv_uncharged(&mut self, data: Vec<u64>) -> Vec<Vec<u64>> {
-        {
-            let mut s = self
-                .shared
-                .coll
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            s.slots[self.rank] = data;
-        }
-        self.barrier_uncharged();
-        let out: Vec<Vec<u64>> = {
-            let s = self
-                .shared
-                .coll
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            s.slots.clone()
-        };
-        self.barrier_uncharged();
-        out
+        self.beat();
+        self.endpoint.exchange(data)
     }
 
     /// Dense irregular all-to-all (`MPI_Alltoallv`): `outgoing[d]` is sent to
@@ -687,26 +676,8 @@ impl<'s> Ctx<'s> {
                 });
             }
         }
-        {
-            let mut s = self
-                .shared
-                .coll
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            s.mat[self.rank] = outgoing;
-        }
-        self.barrier_uncharged();
-        let incoming: Vec<Vec<u64>> = {
-            let s = self
-                .shared
-                .coll
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            (0..self.shared.p)
-                .map(|src| s.mat[src][self.rank].clone())
-                .collect()
-        };
-        self.barrier_uncharged();
+        self.beat();
+        let incoming = self.endpoint.exchange_matrix(outgoing);
         let mut recv_words_here = 0u64;
         let mut recv_msgs_here = 0u64;
         for (srcr, v) in incoming.iter().enumerate() {
@@ -763,6 +734,7 @@ impl<'s> Ctx<'s> {
         self.phases.push(PhaseRecord {
             name: name.to_string(),
             counters: self.counters,
+            wall_nanos: self.shared.epoch.elapsed().as_nanos() as u64,
         });
     }
 }
@@ -794,7 +766,7 @@ type RankOutcome<R> = (R, Vec<PhaseRecord>, Vec<TraceEvent>, Vec<SpanRecord>);
 fn drive_rank<R, F>(
     rank: usize,
     shared: &Shared,
-    receiver: Receiver<RawMsg>,
+    endpoint: Box<dyn Endpoint>,
     opts: &SimOptions,
     f: &F,
 ) -> RankOutcome<R>
@@ -815,7 +787,7 @@ where
     let mut ctx = Ctx {
         rank,
         shared,
-        receiver,
+        endpoint,
         counters: Counters::default(),
         phases: Vec::new(),
         sent_peer_seen: vec![false; p],
@@ -879,9 +851,17 @@ fn assemble<R>(p: usize, outcomes: Vec<RankOutcome<R>>, want_trace: bool) -> Sim
                 }
             })
             .collect();
+        let wall_per_rank: Vec<f64> = per_rank_phases
+            .iter()
+            .map(|phs| {
+                let prev = if pi == 0 { 0 } else { phs[pi - 1].wall_nanos };
+                phs[pi].wall_nanos.saturating_sub(prev) as f64 / 1e9
+            })
+            .collect();
         phases.push(PhaseStats {
             name: name.clone(),
             per_rank,
+            wall_per_rank,
         });
     }
     // Drop an empty trailing "rest" phase to keep reports clean. Peak and
@@ -950,23 +930,24 @@ where
     .output
 }
 
-/// Runs `f` on `p` simulated PEs under the given [`SimOptions`] (timing,
-/// trace recording, schedule perturbation).
+/// Runs `f` on `p` PEs under the given [`SimOptions`] (transport backend,
+/// timing, trace recording, schedule perturbation).
 pub fn run_sim<R, F>(p: usize, opts: &SimOptions, f: F) -> SimOutput<R>
 where
     R: Send,
     F: Fn(&mut Ctx) -> R + Send + Sync,
 {
     assert!(p > 0, "need at least one PE");
-    let (shared, receivers) = make_shared(p);
+    let shared = make_shared(p);
+    let endpoints = tricount_net::endpoints(opts.transport, p);
     let mut outcomes: Vec<RankOutcome<R>> = Vec::with_capacity(p);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (rank, receiver) in receivers.into_iter().enumerate() {
+        for (rank, endpoint) in endpoints.into_iter().enumerate() {
             let shared = &shared;
             let f = &f;
             let opts = &*opts;
-            handles.push(scope.spawn(move || drive_rank(rank, shared, receiver, opts, f)));
+            handles.push(scope.spawn(move || drive_rank(rank, shared, endpoint, opts, f)));
         }
         // Join everything before re-raising a panic: unwinding out of the
         // scope with threads still running would panic a second time in the
@@ -1126,18 +1107,18 @@ where
     F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
 {
     assert!(p > 0, "need at least one PE");
-    let (shared, receivers) = make_shared(p);
-    let shared = Arc::new(shared);
+    let shared = Arc::new(make_shared(p));
+    let endpoints = tricount_net::endpoints(opts.transport, p);
     let f = Arc::new(f);
     let opts_copy = opts.clone();
     let (done_tx, done_rx) = mpsc::channel::<(usize, RankOutcome<R>)>();
-    for (rank, receiver) in receivers.into_iter().enumerate() {
+    for (rank, endpoint) in endpoints.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
         let f = Arc::clone(&f);
         let done_tx = done_tx.clone();
         let opts_copy = opts_copy.clone();
         std::thread::spawn(move || {
-            let outcome = drive_rank(rank, &shared, receiver, &opts_copy, &*f);
+            let outcome = drive_rank(rank, &shared, endpoint, &opts_copy, &*f);
             // the supervisor may have given up already; ignore send errors
             let _ = done_tx.send((rank, outcome));
         });
@@ -1466,6 +1447,70 @@ mod tests {
             ctx.end_phase("a");
         });
         assert!(out.trace.is_none());
+    }
+
+    #[test]
+    fn threads_backend_matches_sim_on_collectives_and_p2p() {
+        let body = |ctx: &mut Ctx| {
+            let p = ctx.num_ranks();
+            for d in 0..p {
+                if d != ctx.rank() {
+                    ctx.send_raw(d, vec![ctx.rank() as u64, 7]);
+                }
+            }
+            let mut got = 0usize;
+            let mut sum = 0u64;
+            while got < p - 1 {
+                if let Some(m) = ctx.try_recv_raw() {
+                    sum += m.words[0];
+                    got += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            ctx.add_work(5);
+            ctx.end_phase("p2p");
+            let red = ctx.allreduce_sum(&[sum])[0];
+            let aa = ctx.alltoallv((0..p).map(|d| vec![d as u64]).collect());
+            ctx.end_phase("coll");
+            (red, aa.len() as u64)
+        };
+        let sim = run_sim(4, &SimOptions::default(), body);
+        let thr = run_sim(4, &SimOptions::on(TransportKind::Threads), body);
+        assert_eq!(sim.output.results, thr.output.results);
+        // phase-by-phase, rank-by-rank: identical meters on both backends
+        for (ps, pt) in sim.output.stats.phases.iter().zip(&thr.output.stats.phases) {
+            assert_eq!(ps.name, pt.name);
+            assert_eq!(ps.per_rank, pt.per_rank);
+        }
+    }
+
+    #[test]
+    fn threads_backend_panic_joins_all_ranks() {
+        // rank 2 dies while the rest head into a barrier: poisoning must
+        // release every sibling so the scope joins and re-raises (a hang
+        // here would trip the test harness timeout, not pass).
+        let result = std::panic::catch_unwind(|| {
+            run_sim(4, &SimOptions::on(TransportKind::Threads), |ctx| {
+                if ctx.rank() == 2 {
+                    panic!("rank 2 dies");
+                }
+                ctx.barrier();
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn threads_backend_records_wall_time() {
+        let out = run_sim(2, &SimOptions::on(TransportKind::Threads), |ctx| {
+            ctx.add_work(1000);
+            ctx.end_phase("work");
+        });
+        let ph = &out.output.stats.phases[0];
+        assert_eq!(ph.wall_per_rank.len(), 2);
+        assert!(ph.max_wall() > 0.0, "wall clock must be recorded");
+        assert!(out.output.stats.wall_time() > 0.0);
     }
 
     #[test]

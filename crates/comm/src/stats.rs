@@ -99,9 +99,32 @@ pub struct PhaseStats {
     pub name: String,
     /// Counter deltas per PE, indexed by rank.
     pub per_rank: Vec<Counters>,
+    /// Measured wall-clock seconds each PE spent in the phase, indexed by
+    /// rank. Deliberately *not* part of [`Counters`]: counters are the
+    /// deterministic modeled record (bit-compared across backends and
+    /// schedules), while wall time is a property of the host machine. On
+    /// the simulator backend this is simulator overhead; on the threads
+    /// backend it is honest parallel execution time.
+    pub wall_per_rank: Vec<f64>,
 }
 
 impl PhaseStats {
+    /// Builds a phase record with no wall-clock measurements (synthetic
+    /// stats in tests and report tooling).
+    pub fn unmeasured(name: impl Into<String>, per_rank: Vec<Counters>) -> PhaseStats {
+        let wall_per_rank = vec![0.0; per_rank.len()];
+        PhaseStats {
+            name: name.into(),
+            per_rank,
+            wall_per_rank,
+        }
+    }
+
+    /// Measured wall time of the phase: the slowest PE (the phase ends at
+    /// a barrier). 0 for synthetic stats.
+    pub fn max_wall(&self) -> f64 {
+        self.wall_per_rank.iter().copied().fold(0.0, f64::max)
+    }
     /// Modeled wall time of the phase: the slowest PE under `cost` (the
     /// phase ends at a barrier).
     pub fn modeled_time(&self, cost: &CostModel) -> f64 {
@@ -170,6 +193,15 @@ impl RunStats {
     /// Modeled running time: the sum over phases of the slowest PE.
     pub fn modeled_time(&self, cost: &CostModel) -> f64 {
         self.phases.iter().map(|ph| ph.modeled_time(cost)).sum()
+    }
+
+    /// Measured wall-clock running time: the sum over phases of the slowest
+    /// PE's wall seconds. The honest-parallel counterpart of
+    /// [`RunStats::modeled_time`] — compare the two to see how far the
+    /// machine model is from this host's reality (threads backend), or what
+    /// the simulator's bookkeeping overhead is (sim backend).
+    pub fn wall_time(&self) -> f64 {
+        self.phases.iter().map(|ph| ph.max_wall()).sum()
     }
 
     /// Modeled time of one named phase (0 if absent).
@@ -303,10 +335,10 @@ mod tests {
     #[test]
     fn phase_time_is_bottleneck_rank() {
         let cost = CostModel::comm_only(0.0, 1.0);
-        let ph = PhaseStats {
-            name: "x".into(),
-            per_rank: vec![c(0, 5, 0, 0, 0), c(0, 20, 0, 0, 0), c(0, 1, 0, 0, 0)],
-        };
+        let ph = PhaseStats::unmeasured(
+            "x",
+            vec![c(0, 5, 0, 0, 0), c(0, 20, 0, 0, 0), c(0, 1, 0, 0, 0)],
+        );
         assert_eq!(ph.modeled_time(&cost), 20.0);
         assert_eq!(ph.bottleneck_volume(), 20);
         assert_eq!(ph.total_volume(), 26);
@@ -317,14 +349,8 @@ mod tests {
         let stats = RunStats {
             p: 2,
             phases: vec![
-                PhaseStats {
-                    name: "a".into(),
-                    per_rank: vec![c(1, 10, 0, 0, 0), c(3, 2, 0, 0, 0)],
-                },
-                PhaseStats {
-                    name: "b".into(),
-                    per_rank: vec![c(4, 1, 0, 0, 0), c(1, 5, 0, 0, 0)],
-                },
+                PhaseStats::unmeasured("a", vec![c(1, 10, 0, 0, 0), c(3, 2, 0, 0, 0)]),
+                PhaseStats::unmeasured("b", vec![c(4, 1, 0, 0, 0), c(1, 5, 0, 0, 0)]),
             ],
         };
         // rank0: 5 msgs, 11 words; rank1: 4 msgs, 7 words
@@ -363,14 +389,8 @@ mod tests {
         let stats = RunStats {
             p: 2,
             phases: vec![
-                PhaseStats {
-                    name: "x".into(),
-                    per_rank: vec![a, b],
-                },
-                PhaseStats {
-                    name: "y".into(),
-                    per_rank: vec![c(0, 0, 0, 0, 1), c(0, 0, 0, 0, 2)],
-                },
+                PhaseStats::unmeasured("x", vec![a, b]),
+                PhaseStats::unmeasured("y", vec![c(0, 0, 0, 0, 1), c(0, 0, 0, 0, 2)]),
             ],
         };
         let t = stats.totals();

@@ -4,7 +4,7 @@
 //! are expressible as settings of [`DistConfig`] (plus the contraction that
 //! distinguishes CETRIC from DITRIC, selected via [`Algorithm`]).
 
-use tricount_comm::Routing;
+use tricount_comm::{Routing, TransportKind};
 use tricount_graph::kernels::KernelPolicy;
 use tricount_graph::OrderingKind;
 
@@ -69,6 +69,13 @@ pub struct DistConfig {
     /// Intersection-kernel selection and intra-PE parallelism policy
     /// (adaptive dispatch, hub index threshold, chunked counting).
     pub kernels: KernelPolicy,
+    /// Which data plane carries the run's communication:
+    /// [`TransportKind::Sim`] (default) is the metered simulator,
+    /// [`TransportKind::Threads`] executes the same protocol in real
+    /// parallel over shared memory. Counts and comm meters are identical on
+    /// both; the threads backend additionally yields honest per-phase wall
+    /// clock. Explicit `SimOptions.transport` overrides this field.
+    pub transport: TransportKind,
 }
 
 impl Default for DistConfig {
@@ -82,6 +89,7 @@ impl Default for DistConfig {
             delegate_threshold: None,
             memory_limit_words: None,
             kernels: KernelPolicy::default(),
+            transport: TransportKind::Sim,
         }
     }
 }

@@ -8,7 +8,7 @@
 //! Type-1/2 triangles are still counted exactly (they never leave the PE).
 
 use tricount_amq::{truthful_estimate_unclamped, Amq, BloomFilter, SingleShotBloom};
-use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_comm::{run_sim, Ctx, Envelope, MessageQueue, QueueConfig, SimOptions};
 use tricount_graph::dist::{DistGraph, LocalGraph};
 use tricount_graph::intersect::merge_count;
 
@@ -220,7 +220,7 @@ pub fn approx_prepared(
 pub fn approx_on(dg: DistGraph, cfg: &DistConfig, acfg: &ApproxConfig) -> ApproxResult {
     let p = dg.num_ranks();
     let cells = into_cells(dg);
-    let out = run(p, |ctx| {
+    let out = run_sim(p, &SimOptions::on(cfg.transport), |ctx| {
         let lg = cells[ctx.rank()]
             .lock()
             .unwrap()
@@ -228,10 +228,11 @@ pub fn approx_on(dg: DistGraph, cfg: &DistConfig, acfg: &ApproxConfig) -> Approx
             .expect("local graph already taken");
         run_rank(ctx, lg, cfg, acfg)
     });
-    let exact_local: u64 = out.results.iter().map(|r| r.exact_local).sum();
-    let type3_raw: u64 = out.results.iter().map(|r| r.type3_raw).sum();
+    let exact_local: u64 = out.output.results.iter().map(|r| r.exact_local).sum();
+    let type3_raw: u64 = out.output.results.iter().map(|r| r.type3_raw).sum();
     // clamp only the aggregate: per-intersection clamping would bias upward
     let type3_corrected: f64 = out
+        .output
         .results
         .iter()
         .map(|r| r.type3_corrected)
@@ -242,7 +243,7 @@ pub fn approx_on(dg: DistGraph, cfg: &DistConfig, acfg: &ApproxConfig) -> Approx
         type3_raw,
         type3_corrected,
         estimate: exact_local as f64 + type3_corrected,
-        stats: out.stats,
+        stats: out.output.stats,
     }
 }
 

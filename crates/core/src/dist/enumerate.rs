@@ -4,7 +4,7 @@
 //! every rank emits the triangles it discovers; since discovery is unique,
 //! the union over ranks is the exact triangle set.
 
-use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_comm::{run_sim, Ctx, Envelope, MessageQueue, QueueConfig, SimOptions};
 use tricount_graph::dist::{DistGraph, LocalGraph};
 use tricount_graph::intersect::merge_collect;
 use tricount_graph::VertexId;
@@ -115,7 +115,7 @@ fn run_rank(ctx: &mut Ctx, mut lg: LocalGraph, cfg: &DistConfig) -> Vec<Triangle
 pub fn enumerate_on(dg: DistGraph, cfg: &DistConfig) -> Vec<Triangle> {
     let p = dg.num_ranks();
     let cells = into_cells(dg);
-    let out = run(p, |ctx| {
+    let out = run_sim(p, &SimOptions::on(cfg.transport), |ctx| {
         let lg = cells[ctx.rank()]
             .lock()
             .unwrap()
@@ -123,7 +123,7 @@ pub fn enumerate_on(dg: DistGraph, cfg: &DistConfig) -> Vec<Triangle> {
             .expect("local graph already taken");
         run_rank(ctx, lg, cfg)
     });
-    let mut all: Vec<Triangle> = out.results.into_iter().flatten().collect();
+    let mut all: Vec<Triangle> = out.output.results.into_iter().flatten().collect();
     all.sort_unstable();
     debug_assert!(
         all.windows(2).all(|w| w[0] != w[1]),

@@ -12,7 +12,7 @@
 //! (the modeled parallel makespan), so modeled times reflect `t`-way
 //! parallel execution on the single-core host.
 
-use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_comm::{run_sim, Ctx, Envelope, MessageQueue, QueueConfig, SimOptions};
 use tricount_graph::dist::{DistGraph, LocalGraph};
 use tricount_graph::intersect::merge_count;
 use tricount_graph::VertexId;
@@ -134,7 +134,7 @@ pub fn count_hybrid(
     let p = cores / threads;
     let dg = DistGraph::new_balanced_vertices(g, p);
     let cells = into_cells(dg);
-    let out = run(p, |ctx| {
+    let out = run_sim(p, &SimOptions::on(cfg.transport), |ctx| {
         let lg = cells[ctx.rank()]
             .lock()
             .unwrap()
@@ -143,7 +143,7 @@ pub fn count_hybrid(
         run_rank(ctx, lg, cfg, threads)
     });
     CountResult {
-        triangles: out.results[0],
-        stats: out.stats,
+        triangles: out.output.results[0],
+        stats: out.output.stats,
     }
 }

@@ -16,7 +16,7 @@
 //! accumulating its own `Δ` vectors which are summed element-wise in
 //! canonical chunk order (u64 addition — bit-identical to sequential).
 
-use tricount_comm::{run, Ctx, Envelope, MessageQueue, QueueConfig};
+use tricount_comm::{run_sim, Ctx, Envelope, MessageQueue, QueueConfig, SimOptions};
 use tricount_graph::dist::{DistGraph, LocalGraph, OrientedLocalGraph};
 use tricount_graph::kernels::{balanced_chunks, Dispatcher, KernelCounters};
 use tricount_graph::VertexId;
@@ -294,7 +294,7 @@ pub fn normalize_lcc(per_vertex: &[u64], degrees: &[u64]) -> Vec<f64> {
 pub fn lcc_on(dg: DistGraph, cfg: &DistConfig, degrees: &[u64]) -> LccResult {
     let p = dg.num_ranks();
     let cells = into_cells(dg);
-    let out = run(p, |ctx| {
+    let out = run_sim(p, &SimOptions::on(cfg.transport), |ctx| {
         let lg = cells[ctx.rank()]
             .lock()
             .unwrap()
@@ -303,7 +303,7 @@ pub fn lcc_on(dg: DistGraph, cfg: &DistConfig, degrees: &[u64]) -> LccResult {
         run_rank(ctx, lg, cfg)
     });
     let mut per_vertex = Vec::with_capacity(degrees.len());
-    for owned in out.results {
+    for owned in out.output.results {
         per_vertex.extend(owned);
     }
     assert_eq!(per_vertex.len(), degrees.len());
@@ -313,7 +313,7 @@ pub fn lcc_on(dg: DistGraph, cfg: &DistConfig, degrees: &[u64]) -> LccResult {
         triangles,
         per_vertex,
         lcc,
-        stats: out.stats,
+        stats: out.output.stats,
     }
 }
 

@@ -21,7 +21,9 @@ mod tests;
 
 use std::sync::{Arc, Mutex};
 
-use tricount_comm::{run_guarded, run_sim, Ctx, MessageQueue, QueueConfig, SimOptions, Trace};
+use tricount_comm::{
+    run_guarded, run_sim, Ctx, MessageQueue, QueueConfig, SimOptions, Trace, TransportKind,
+};
 use tricount_graph::dist::{DistGraph, LocalGraph};
 use tricount_graph::OrderingKind;
 
@@ -135,35 +137,36 @@ pub(crate) fn into_cells(dg: DistGraph) -> Vec<Mutex<Option<LocalGraph>>> {
         .collect()
 }
 
-/// Runs `alg` on an already partitioned graph and returns the global
-/// triangle count with full statistics.
-pub fn run_on(dg: DistGraph, alg: Algorithm, cfg: &DistConfig) -> Result<CountResult, DistError> {
-    run_on_impl(dg, alg, cfg, None)
+/// Resolves the options a run actually executes under: an explicitly
+/// non-default `opts.transport` wins; otherwise [`DistConfig::transport`]
+/// selects the backend. (Requesting the default `Sim` through `opts` and
+/// `Threads` through the config is a config-driven threads run — the CLI
+/// and engine plumb `--transport` through the config.)
+fn resolve_opts(cfg: &DistConfig, opts: &SimOptions) -> SimOptions {
+    let mut opts = opts.clone();
+    if opts.transport == TransportKind::Sim {
+        opts.transport = cfg.transport;
+    }
+    opts
 }
 
-/// Like [`run_on`] with the overlap-aware simulated clock enabled under
-/// `cost` (see `tricount_comm::runtime::run_timed`); the result's
-/// [`RunStats::makespan`](tricount_comm::RunStats::makespan) is populated.
-pub fn run_on_timed(
-    dg: DistGraph,
-    alg: Algorithm,
-    cfg: &DistConfig,
-    cost: tricount_comm::CostModel,
-) -> Result<CountResult, DistError> {
-    run_on_impl(dg, alg, cfg, Some(cost))
-}
-
-/// Like [`run_on`], but under explicit [`SimOptions`] (timing, trace
-/// recording, schedule perturbation) — the entry point of the
-/// `tricount-verify` conformance and determinism harnesses. Returns the
-/// count alongside the recorded trace, if one was requested (requires
-/// `tricount-comm`'s `trace` feature to be non-`None`).
-pub fn run_on_sim(
+/// Runs `alg` on an already partitioned graph under explicit
+/// [`SimOptions`] (transport backend, timing, trace recording, schedule
+/// perturbation) and returns the global triangle count with full
+/// statistics, alongside the recorded trace if one was requested (requires
+/// `tricount-comm`'s `trace` feature to be non-`None`). This is the entry
+/// point of the CLI drivers and the `tricount-verify` conformance,
+/// determinism and transport-equivalence harnesses.
+///
+/// (Previously `run_on_sim`; renamed when the runtime grew a real parallel
+/// backend — the run is only a simulation on [`TransportKind::Sim`].)
+pub fn run_on(
     dg: DistGraph,
     alg: Algorithm,
     cfg: &DistConfig,
     opts: &SimOptions,
 ) -> Result<(CountResult, Option<Trace>), DistError> {
+    let opts = resolve_opts(cfg, opts);
     let p = dg.num_ranks();
     let cells = into_cells(dg);
     let body = |ctx: &mut Ctx| {
@@ -181,7 +184,7 @@ pub fn run_on_sim(
             Algorithm::HavoqgtLike => Ok(baselines::havoqgt_like_rank(ctx, lg, cfg)),
         }
     };
-    let sim = run_sim(p, opts, body);
+    let sim = run_sim(p, &opts, body);
     let triangles = sim.output.results.into_iter().next().unwrap()?;
     Ok((
         CountResult {
@@ -192,15 +195,43 @@ pub fn run_on_sim(
     ))
 }
 
-/// Like [`run_on_sim`], additionally returning the kernel-dispatch tallies
+/// Like [`run_on`] under default options, returning just the count record
+/// (the common case of the simple drivers and benches).
+pub fn run_on_default(
+    dg: DistGraph,
+    alg: Algorithm,
+    cfg: &DistConfig,
+) -> Result<CountResult, DistError> {
+    run_on(dg, alg, cfg, &SimOptions::default()).map(|(r, _)| r)
+}
+
+/// Like [`run_on_default`] with the overlap-aware simulated clock enabled
+/// under `cost` (see `tricount_comm::runtime::run_timed`); the result's
+/// [`RunStats::makespan`](tricount_comm::RunStats::makespan) is populated.
+pub fn run_on_timed(
+    dg: DistGraph,
+    alg: Algorithm,
+    cfg: &DistConfig,
+    cost: tricount_comm::CostModel,
+) -> Result<CountResult, DistError> {
+    let opts = SimOptions {
+        timing: Some(cost),
+        ..SimOptions::default()
+    };
+    run_on(dg, alg, cfg, &opts).map(|(r, _)| r)
+}
+
+/// Like [`run_on`], additionally returning the kernel-dispatch tallies
 /// of every rank folded in rank order (empty for the baseline algorithms,
-/// which intersect without the dispatcher).
-pub fn run_on_sim_stats(
+/// which intersect without the dispatcher). (Previously
+/// `run_on_sim_stats`.)
+pub fn run_on_stats(
     dg: DistGraph,
     alg: Algorithm,
     cfg: &DistConfig,
     opts: &SimOptions,
 ) -> Result<(CountResult, Option<Trace>, dispatch::DispatchReport), DistError> {
+    let opts = resolve_opts(cfg, opts);
     let p = dg.num_ranks();
     let cells = into_cells(dg);
     let body = |ctx: &mut Ctx| {
@@ -222,7 +253,7 @@ pub fn run_on_sim_stats(
             )),
         }
     };
-    let sim = run_sim(p, opts, body);
+    let sim = run_sim(p, &opts, body);
     let mut triangles = 0u64;
     let mut report = dispatch::DispatchReport::new();
     for (i, r) in sim.output.results.into_iter().enumerate() {
@@ -242,7 +273,7 @@ pub fn run_on_sim_stats(
     ))
 }
 
-/// Like [`run_on_sim`], but under the deadlock watchdog
+/// Like [`run_on`], but under the deadlock watchdog
 /// ([`tricount_comm::run_guarded`]): if no PE makes progress for `timeout`,
 /// the run is abandoned and the watchdog's wait-for-graph diagnosis comes
 /// back as [`DistError::Deadlock`] instead of the process hanging. This is
@@ -255,6 +286,7 @@ pub fn run_on_guarded(
     opts: &SimOptions,
     timeout: std::time::Duration,
 ) -> Result<CountResult, DistError> {
+    let opts = resolve_opts(cfg, opts);
     let p = dg.num_ranks();
     let cells = Arc::new(into_cells(dg));
     let cfg = *cfg;
@@ -273,7 +305,7 @@ pub fn run_on_guarded(
             Algorithm::HavoqgtLike => Ok(baselines::havoqgt_like_rank(ctx, lg, &cfg)),
         }
     };
-    let out = run_guarded(p, opts, timeout, body)?;
+    let out = run_guarded(p, &opts, timeout, body)?;
     let triangles = out.output.results.into_iter().next().unwrap()?;
     Ok(CountResult {
         triangles,
@@ -281,23 +313,10 @@ pub fn run_on_guarded(
     })
 }
 
-fn run_on_impl(
-    dg: DistGraph,
-    alg: Algorithm,
-    cfg: &DistConfig,
-    timing: Option<tricount_comm::CostModel>,
-) -> Result<CountResult, DistError> {
-    let opts = SimOptions {
-        timing,
-        ..SimOptions::default()
-    };
-    run_on_sim(dg, alg, cfg, &opts).map(|(r, _)| r)
-}
-
 /// Convenience driver: partitions `g` over `p` PEs (vertex-balanced) and
 /// runs `alg` with its default configuration.
 pub fn count(g: &tricount_graph::Csr, p: usize, alg: Algorithm) -> Result<CountResult, DistError> {
-    run_on(DistGraph::new_balanced_vertices(g, p), alg, &alg.config())
+    run_on_default(DistGraph::new_balanced_vertices(g, p), alg, &alg.config())
 }
 
 /// Like [`count`] with an explicit configuration.
@@ -307,5 +326,5 @@ pub fn count_with(
     alg: Algorithm,
     cfg: &DistConfig,
 ) -> Result<CountResult, DistError> {
-    run_on(DistGraph::new_balanced_vertices(g, p), alg, cfg)
+    run_on_default(DistGraph::new_balanced_vertices(g, p), alg, cfg)
 }

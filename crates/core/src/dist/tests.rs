@@ -117,7 +117,7 @@ fn edge_balanced_partition_also_correct() {
     let truth = seq::compact_forward(&g).triangles;
     for alg in [Algorithm::Ditric, Algorithm::Cetric] {
         let dg = DistGraph::new_balanced_edges(&g, 5);
-        let r = crate::dist::run_on(dg, alg, &alg.config()).unwrap();
+        let r = crate::dist::run_on_default(dg, alg, &alg.config()).unwrap();
         assert_eq!(r.triangles, truth, "{alg:?}");
     }
 }

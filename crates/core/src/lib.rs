@@ -49,5 +49,5 @@ pub mod sampling;
 pub mod seq;
 
 pub use config::{Aggregation, Algorithm, DistConfig};
-pub use dist::{count, count_with, run_on};
+pub use dist::{count, count_with, run_on, run_on_default};
 pub use result::{ApproxResult, CountResult, DistError, LccResult};

@@ -245,6 +245,7 @@ impl Engine {
         let degrees = g.degrees();
         let dg = DistGraph::new_balanced_vertices(g, cfg.num_ranks);
         let opts = SimOptions {
+            transport: cfg.dist.transport,
             timing: cfg.timing,
             record_trace: false,
             perturb_seed: None,
@@ -594,6 +595,7 @@ impl Engine {
         }
         let p = self.cfg.num_ranks;
         let opts = SimOptions {
+            transport: self.cfg.dist.transport,
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
@@ -688,6 +690,7 @@ impl Engine {
     fn compact(&mut self) -> Result<(), EngineError> {
         let p = self.cfg.num_ranks;
         let opts = SimOptions {
+            transport: self.cfg.dist.transport,
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
@@ -721,6 +724,7 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             num_ranks: self.cfg.num_ranks,
+            transport: self.cfg.dist.transport.name(),
             epoch: self.epoch,
             submitted: self.metrics.submitted,
             rejected: self.metrics.rejected,
@@ -951,6 +955,7 @@ impl Engine {
     ) -> Result<(CachedValue, RunStats, f64, DispatchReport), EngineError> {
         let p = self.cfg.num_ranks;
         let opts = SimOptions {
+            transport: self.cfg.dist.transport,
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,

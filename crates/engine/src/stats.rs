@@ -47,6 +47,8 @@ pub struct EngineSpan {
 pub struct EngineStats {
     /// Number of PEs the resident graph is partitioned over.
     pub num_ranks: usize,
+    /// Transport backend carrying the engine's runs ("sim" or "threads").
+    pub transport: &'static str,
     /// Current epoch (bumped by [`advance_epoch`](crate::Engine::advance_epoch)).
     pub epoch: u64,
     /// Queries accepted by [`submit`](crate::Engine::submit).
@@ -142,6 +144,7 @@ impl EngineStats {
         let mut s = String::with_capacity(1024);
         s.push('{');
         push_field(&mut s, "num_ranks", &self.num_ranks.to_string());
+        push_field(&mut s, "transport", &format!("\"{}\"", self.transport));
         push_field(&mut s, "epoch", &self.epoch.to_string());
         push_field(&mut s, "submitted", &self.submitted.to_string());
         push_field(&mut s, "rejected", &self.rejected.to_string());
@@ -311,6 +314,7 @@ mod tests {
     fn json_snapshot_is_wellformed_enough() {
         let stats = EngineStats {
             num_ranks: 4,
+            transport: "sim",
             epoch: 0,
             submitted: 3,
             rejected: 1,
@@ -380,6 +384,7 @@ mod tests {
         let j = stats.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"cache_hit_rate\":0.5"));
+        assert!(j.contains("\"transport\":\"sim\""));
         assert!(j.contains(
             "\"kernel_dispatch\":{\"local\":{\"merge\":3,\"gallop\":2,\"binary\":1,\"bitmap\":0}}"
         ));

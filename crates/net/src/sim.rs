@@ -1,0 +1,153 @@
+//! The simulator data plane, extracted verbatim from the pre-transport
+//! runtime: unbounded `std::sync::mpsc` channels (one inbox per PE, all
+//! senders feeding it in real arrival order), a blocking
+//! [`std::sync::Barrier`], and a mutex-guarded scratch area for the
+//! shared-memory collectives.
+//!
+//! This backend is the determinism/verify/mc substrate: its delivery
+//! semantics (single merged inbox, FIFO in arrival order) are what the
+//! perturbation and `DeliveryPick` hooks in `tricount-comm` re-order, and
+//! its blocking barrier is what the deadlock watchdog observes. It must
+//! stay behaviourally identical to the historical runtime — the
+//! cross-backend equivalence suite in `tricount-verify` pins the threads
+//! backend against it.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+
+use crate::{Endpoint, Msg, TransportKind};
+
+/// Scratch space for shared-memory collectives.
+struct CollScratch {
+    /// Per-rank deposit slot (allgather/allreduce).
+    slots: Vec<Vec<u64>>,
+    /// `mat[src][dst]` deposit matrix (all-to-all).
+    mat: Vec<Vec<Vec<u64>>>,
+}
+
+/// State shared by all endpoints of one sim-backend run.
+struct SimShared {
+    senders: Vec<Sender<Msg>>,
+    barrier: Barrier,
+    coll: Mutex<CollScratch>,
+}
+
+/// The simulator transport: builds [`SimEndpoint`]s sharing one channel
+/// mesh, barrier and collective scratch.
+pub struct SimTransport;
+
+impl SimTransport {
+    /// One endpoint per rank over a fresh data plane.
+    pub fn endpoints(p: usize) -> Vec<Box<dyn Endpoint>> {
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (s, r) = std::sync::mpsc::channel();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let shared = Arc::new(SimShared {
+            senders,
+            barrier: Barrier::new(p),
+            coll: Mutex::new(CollScratch {
+                slots: vec![Vec::new(); p],
+                mat: vec![Vec::new(); p],
+            }),
+        });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| {
+                Box::new(SimEndpoint {
+                    rank,
+                    p,
+                    shared: Arc::clone(&shared),
+                    receiver,
+                }) as Box<dyn Endpoint>
+            })
+            .collect()
+    }
+}
+
+/// One PE's handle on the simulator data plane.
+pub struct SimEndpoint {
+    rank: usize,
+    p: usize,
+    shared: Arc<SimShared>,
+    receiver: Receiver<Msg>,
+}
+
+impl Endpoint for SimEndpoint {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Sim
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn peers(&self) -> usize {
+        self.p
+    }
+
+    fn send(&mut self, to: usize, msg: Msg) {
+        // A closed inbox means the destination thread is gone — that only
+        // happens when a guarded run has been abandoned and its leaked
+        // threads are winding down; the message is moot, not a panic.
+        let _ = self.shared.senders[to].send(msg);
+    }
+
+    fn try_recv(&mut self) -> Option<Msg> {
+        self.receiver.try_recv().ok()
+    }
+
+    fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    fn exchange(&mut self, data: Vec<u64>) -> Vec<Vec<u64>> {
+        {
+            let mut s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            s.slots[self.rank] = data;
+        }
+        self.barrier();
+        let out: Vec<Vec<u64>> = {
+            let s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            s.slots.clone()
+        };
+        self.barrier();
+        out
+    }
+
+    fn exchange_matrix(&mut self, rows: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        {
+            let mut s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            s.mat[self.rank] = rows;
+        }
+        self.barrier();
+        let incoming: Vec<Vec<u64>> = {
+            let s = self
+                .shared
+                .coll
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            (0..self.p)
+                .map(|src| s.mat[src][self.rank].clone())
+                .collect()
+        };
+        self.barrier();
+        incoming
+    }
+}

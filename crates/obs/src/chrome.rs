@@ -270,10 +270,7 @@ mod tests {
         };
         RunStats {
             p: 2,
-            phases: vec![PhaseStats {
-                name: "local".to_string(),
-                per_rank: vec![c0, c1],
-            }],
+            phases: vec![PhaseStats::unmeasured("local", vec![c0, c1])],
         }
     }
 

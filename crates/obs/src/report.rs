@@ -260,9 +260,9 @@ mod tests {
     fn stats() -> RunStats {
         RunStats {
             p: 1,
-            phases: vec![PhaseStats {
-                name: "local".to_string(),
-                per_rank: vec![Counters {
+            phases: vec![PhaseStats::unmeasured(
+                "local",
+                vec![Counters {
                     work_ops: 10,
                     sent_messages: 2,
                     sent_words: 8,
@@ -270,7 +270,7 @@ mod tests {
                     recv_words: 8,
                     ..Counters::default()
                 }],
-            }],
+            )],
         }
     }
 

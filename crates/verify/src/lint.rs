@@ -440,7 +440,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     for krate in crates {
         let name = krate.file_name().and_then(|n| n.to_str()).unwrap_or("");
         let scope = LintScope {
-            concurrency: matches!(name, "par" | "comm"),
+            concurrency: matches!(name, "par" | "comm" | "net"),
         };
         let mut files = Vec::new();
         collect_rs(&krate.join("src"), &mut files);

@@ -10,14 +10,14 @@ use tricount_comm::{SimOptions, Trace, TraceEvent};
 use tricount_core::config::{Algorithm, DistConfig};
 use tricount_core::dist::delta::apply_batch_sim;
 use tricount_core::dist::residency::{build_residency, PreparedRank};
-use tricount_core::dist::run_on_sim;
+use tricount_core::dist::run_on;
 use tricount_delta::{random_batch, Overlay};
 use tricount_graph::dist::DistGraph;
 use tricount_verify::{check_hb, Violation};
 
 fn traced_run(g: &tricount_graph::Csr, p: usize, alg: Algorithm) -> Trace {
     let dg = DistGraph::new_balanced_vertices(g, p);
-    let (_, trace) = run_on_sim(dg, alg, &alg.config(), &SimOptions::traced())
+    let (_, trace) = run_on(dg, alg, &alg.config(), &SimOptions::traced())
         .unwrap_or_else(|e| panic!("{} failed on p={p}: {e}", alg.name()));
     trace.expect("built with the `trace` feature")
 }

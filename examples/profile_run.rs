@@ -30,7 +30,7 @@ fn main() {
         ..SimOptions::default()
     };
     let (r, trace) =
-        cetric::core::dist::run_on_sim(dg, alg, &alg.config(), &opts).expect("run succeeds");
+        cetric::core::dist::run_on(dg, alg, &alg.config(), &opts).expect("run succeeds");
     let trace = trace.expect("built with the trace feature");
     println!(
         "{} on {p} PEs: {} triangles, modeled {:.3} ms, makespan {:.3} ms",

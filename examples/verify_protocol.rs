@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use cetric::core::dist::run_on_sim;
+use cetric::core::dist::run_on;
 use cetric::core::seq;
 use cetric::prelude::*;
 use tricount_comm::{run_guarded, Ctx, SimOptions};
@@ -36,7 +36,7 @@ fn main() {
     let alg = Algorithm::Cetric2;
     let dg = DistGraph::new_balanced_vertices(&g, p);
     let (result, trace) =
-        run_on_sim(dg, alg, &alg.config(), &SimOptions::traced()).expect("run failed");
+        run_on(dg, alg, &alg.config(), &SimOptions::traced()).expect("run failed");
     assert_eq!(result.triangles, truth);
     let trace = trace.expect("built with the `trace` feature");
     let mut report = check_trace(&trace);
