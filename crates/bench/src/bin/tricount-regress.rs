@@ -1,0 +1,86 @@
+//! `tricount-regress` — the perf-regression gate.
+//!
+//! Diffs freshly produced `BENCH_*.json` artifacts against committed
+//! baselines under the noise-aware tolerances of `tricount_bench::regress`
+//! and exits nonzero when any metric regressed, so CI can fail the build.
+//!
+//! ```text
+//! tricount-regress --baseline baselines --fresh target/bench-fresh \
+//!     [--det-frac 0.10] [--wall-factor 4.0] [--better-factor 4.0]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tricount_bench::regress::{diff_dirs, has_failures, Severity, Tolerances};
+
+fn usage() -> &'static str {
+    "usage: tricount-regress --baseline DIR --fresh DIR\n\
+     \x20      [--det-frac FRAC]      tolerance for deterministic metrics (default 0.10)\n\
+     \x20      [--wall-factor X]      allowed growth factor for measured times (default 4.0)\n\
+     \x20      [--better-factor X]    allowed shrink factor for measured speedups (default 4.0)\n\
+     diffs fresh BENCH_*.json artifacts against committed baselines;\n\
+     exits nonzero when any metric regressed beyond tolerance"
+}
+
+fn parse_f64(flag: &str, v: Option<String>) -> Result<f64, String> {
+    let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+    let x: f64 = v.parse().map_err(|_| format!("{flag}: bad number '{v}'"))?;
+    if x.is_finite() && x > 0.0 {
+        Ok(x)
+    } else {
+        Err(format!("{flag}: must be finite and positive"))
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut tol = Tolerances::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--fresh" => fresh = args.next().map(PathBuf::from),
+            "--det-frac" => tol.det_frac = parse_f64("--det-frac", args.next())?,
+            "--wall-factor" => tol.wall_factor = parse_f64("--wall-factor", args.next())?,
+            "--better-factor" => tol.better_factor = parse_f64("--better-factor", args.next())?,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(true);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    let baseline = baseline.ok_or_else(|| format!("--baseline is required\n{}", usage()))?;
+    let fresh = fresh.ok_or_else(|| format!("--fresh is required\n{}", usage()))?;
+
+    let findings = diff_dirs(&baseline, &fresh, &tol)?;
+    let fails = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Fail)
+        .count();
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "tricount-regress: {} finding(s), {} failing (tolerances: det {:.0}%, wall {:.1}x, gain {:.1}x)",
+        findings.len(),
+        fails,
+        tol.det_frac * 100.0,
+        tol.wall_factor,
+        tol.better_factor
+    );
+    Ok(!has_failures(&findings))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("tricount-regress: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod regress;
+
 use cetric::prelude::*;
 
 /// Benchmark scale selected via `TRICOUNT_BENCH_SCALE`.

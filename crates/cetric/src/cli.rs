@@ -60,6 +60,9 @@ pub enum Command {
         /// Run with the overlap-aware simulated clock and report the
         /// makespan.
         timed: bool,
+        /// Probe calibration JSON (`tricount-pingpong` /
+        /// `tricount-allgather` output) replacing the model's α/β.
+        calibration: Option<String>,
     },
     /// Compute per-vertex counts / LCC and print the top-k.
     Lcc {
@@ -147,12 +150,16 @@ pub enum Command {
         model: CostModel,
         /// Config overrides.
         config: DistConfig,
-        /// Write a Chrome-trace / Perfetto JSON file here.
+        /// Write a Chrome-trace / Perfetto JSON file here. On the threads
+        /// transport this becomes a dual-clock export (modeled + measured).
         chrome_trace: Option<String>,
         /// Print the per-phase modeled/wall breakdown and span summary.
         phase_report: bool,
         /// Write the run's Prometheus text exposition here.
         metrics_out: Option<String>,
+        /// Probe calibration JSON (`tricount-pingpong` /
+        /// `tricount-allgather` output) replacing the model's α/β.
+        calibration: Option<String>,
     },
 }
 
@@ -202,6 +209,35 @@ fn apply_kernel_opts(
         config.kernels.chunking = workers > 1;
     }
     Ok(())
+}
+
+/// Extracts the first `"key":<number>` field from a JSON document — enough
+/// to read the flat calibration reports of the probe binaries without a
+/// JSON dependency.
+fn json_number_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Replaces the preset model's α/β with the measured fit from a probe
+/// calibration file (`tricount-pingpong` emits `alpha_seconds` +
+/// `beta_seconds_per_word`; `tricount-allgather` emits
+/// `alpha_log_seconds`). `t_op` keeps the preset's value — the probes
+/// measure the transport, not the intersection kernels.
+fn apply_calibration(base: CostModel, path: &str) -> Result<CostModel, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let alpha = json_number_field(&text, "alpha_seconds")
+        .or_else(|| json_number_field(&text, "alpha_log_seconds"))
+        .ok_or_else(|| {
+            format!("{path}: no alpha_seconds / alpha_log_seconds field (not a probe calibration?)")
+        })?;
+    let beta = json_number_field(&text, "beta_seconds_per_word").unwrap_or(base.beta);
+    Ok(CostModel::calibrated(alpha, beta, base.t_op))
 }
 
 /// Parses the `--transport` override (absent = [`TransportKind::Sim`]).
@@ -336,6 +372,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 model,
                 config,
                 timed: get("timed").is_some_and(|v| v == "true" || v == "1"),
+                calibration: get("calibration").map(|v| v.to_string()),
             })
         }
         "lcc" => Ok(Command::Lcc {
@@ -413,6 +450,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 chrome_trace: get("chrome-trace").map(|v| v.to_string()),
                 phase_report: get("phase-report").is_some_and(|v| v == "true" || v == "1"),
                 metrics_out: get("metrics-out").map(|v| v.to_string()),
+                calibration: get("calibration").map(|v| v.to_string()),
             })
         }
         v => Err(format!("unknown command {v:?}\n{}", usage())),
@@ -429,7 +467,7 @@ fn usage() -> String {
      [--queries Q] [--workload-seed S] [--batch UPDATES.txt] [--json 1] \
      [--lint-root DIR] \
      [-o OUT] [--chrome-trace OUT.json] [--phase-report 1] \
-     [--metrics-out OUT.prom]"
+     [--metrics-out OUT.prom] [--calibration PROBE.json]"
         .to_string()
 }
 
@@ -467,7 +505,12 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             model,
             config,
             timed,
+            calibration,
         } => {
+            let model = match calibration {
+                Some(path) => apply_calibration(model, &path)?,
+                None => model,
+            };
             let g = load_source(&source)?;
             match algorithm {
                 None => {
@@ -658,19 +701,28 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             chrome_trace,
             phase_report,
             metrics_out,
+            calibration,
         } => {
             use tricount_comm::SimOptions;
+            let model = match calibration {
+                Some(path) => apply_calibration(model, &path)?,
+                None => model,
+            };
             let g = load_source(&source)?;
             let dg = tricount_graph::DistGraph::new_balanced_vertices(&g, p);
+            // the threads backend has a wall clock worth measuring; the
+            // simulator's schedule is a deterministic fiction
             let opts = SimOptions {
                 timing: Some(model),
                 record_trace: true,
+                wall_profile: config.transport == TransportKind::Threads,
                 ..SimOptions::default()
             };
-            let (r, trace, dispatch) =
-                tricount_core::dist::run_on_stats(dg, algorithm, &config, &opts)
+            let (r, trace, dispatch, wall) =
+                tricount_core::dist::run_on_profiled(dg, algorithm, &config, &opts)
                     .map_err(|e| e.to_string())?;
             let trace = trace.ok_or("run recorded no trace (trace feature missing?)")?;
+            let timeline = wall.as_ref().map(tricount_obs::WallTimeline::build);
             println!("triangles: {}", r.triangles);
             println!(
                 "{} on {p} PEs: modeled {:.3} ms | makespan {:.3} ms",
@@ -692,23 +744,49 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 );
                 print!("{}", tricount_obs::span_summary(&trace));
             }
-            if let Some(path) = chrome_trace {
-                let export = tricount_obs::export_run(&trace, &r.stats, &model);
-                let recv = r.stats.totals().recv_messages;
-                if export.flow_arrows != recv {
-                    return Err(format!(
-                        "exporter invariant broken: {} flow arrows but {} delivered messages",
-                        export.flow_arrows, recv
-                    ));
+            if let Some(t) = &timeline {
+                print!("{}", t.report());
+                let fit = tricount_obs::ModelFitReport::compute(&r.stats, &model, 3.0);
+                print!("{}", fit.render());
+                if !fit.flagged().is_empty() {
+                    let cal = fit.calibrated(&model);
+                    println!(
+                        "suggested calibrated model: alpha {:.3e} s, beta {:.3e} s/word, \
+                         t_op {:.3e} s (or run tricount-pingpong for a measured fit)",
+                        cal.alpha, cal.beta, cal.t_op
+                    );
                 }
-                std::fs::write(&path, &export.json).map_err(|e| e.to_string())?;
-                println!(
-                    "wrote {path} ({} tracks, {} flow arrows; open in ui.perfetto.dev)",
-                    export.tracks, export.flow_arrows
-                );
+            }
+            if let Some(path) = chrome_trace {
+                if let Some(t) = &timeline {
+                    let export = tricount_obs::export_dual(&trace, &r.stats, &model, t);
+                    std::fs::write(&path, &export.json).map_err(|e| e.to_string())?;
+                    println!(
+                        "wrote {path} (dual-clock: {} tracks, {} modeled + {} measured flow \
+                         arrows; open in ui.perfetto.dev)",
+                        export.tracks, export.modeled_flows, export.measured_flows
+                    );
+                } else {
+                    let export = tricount_obs::export_run(&trace, &r.stats, &model);
+                    let recv = r.stats.totals().recv_messages;
+                    if export.flow_arrows != recv {
+                        return Err(format!(
+                            "exporter invariant broken: {} flow arrows but {} delivered messages",
+                            export.flow_arrows, recv
+                        ));
+                    }
+                    std::fs::write(&path, &export.json).map_err(|e| e.to_string())?;
+                    println!(
+                        "wrote {path} ({} tracks, {} flow arrows; open in ui.perfetto.dev)",
+                        export.tracks, export.flow_arrows
+                    );
+                }
             }
             if let Some(path) = metrics_out {
-                let reg = tricount_obs::run_metrics(&r.stats, &model, Some(&trace));
+                let mut reg = tricount_obs::run_metrics(&r.stats, &model, Some(&trace));
+                if let Some(t) = &timeline {
+                    tricount_obs::wall_metrics(&mut reg, t, r.stats.contention.as_ref());
+                }
                 std::fs::write(&path, reg.render()).map_err(|e| e.to_string())?;
                 println!("wrote {path}");
             }
@@ -1025,6 +1103,73 @@ mod tests {
         assert!(prom.contains("tricount_run_pes"));
         std::fs::remove_file(trace_path).ok();
         std::fs::remove_file(prom_path).ok();
+    }
+
+    #[test]
+    fn profile_on_threads_exports_dual_clock() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("tricount_cli_profile_dual.json");
+        let prom_path = dir.join("tricount_cli_profile_dual.prom");
+        let cmd = parse(&args(&format!(
+            "profile --family rgg2d --n 512 --p 4 --alg cetric --transport threads \
+             --chrome-trace {} --metrics-out {}",
+            trace_path.display(),
+            prom_path.display()
+        )))
+        .unwrap();
+        execute(cmd).unwrap();
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(json.contains("traceEvents"));
+        assert!(json.contains("measured (wall)"), "missing measured track");
+        assert!(json.contains("simulated machine"), "missing modeled track");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("tricount_run_pes"));
+        assert!(prom.contains("tricount_wall_queue_dwell_nanos"));
+        assert!(prom.contains("tricount_wall_barrier_spin_seconds"));
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(prom_path).ok();
+    }
+
+    #[test]
+    fn calibration_file_replaces_model_constants() {
+        let dir = std::env::temp_dir();
+        let cal_path = dir.join("tricount_cli_calibration.json");
+        std::fs::write(
+            &cal_path,
+            "{\"probe\":\"pingpong\",\"alpha_seconds\":1.5e-7,\
+             \"beta_seconds_per_word\":2.0e-10}",
+        )
+        .unwrap();
+        let model = apply_calibration(CostModel::supermuc(), cal_path.to_str().unwrap()).unwrap();
+        assert!((model.alpha - 1.5e-7).abs() < 1e-12);
+        assert!((model.beta - 2.0e-10).abs() < 1e-15);
+        assert_eq!(model.t_op, CostModel::supermuc().t_op);
+
+        // allgather reports only the logarithmic alpha
+        std::fs::write(&cal_path, "{\"alpha_log_seconds\":3.0e-7}").unwrap();
+        let model = apply_calibration(CostModel::cloud(), cal_path.to_str().unwrap()).unwrap();
+        assert!((model.alpha - 3.0e-7).abs() < 1e-12);
+        assert_eq!(model.beta, CostModel::cloud().beta);
+
+        // not a calibration file at all
+        std::fs::write(&cal_path, "{\"foo\":1}").unwrap();
+        assert!(apply_calibration(CostModel::supermuc(), cal_path.to_str().unwrap()).is_err());
+
+        // end to end through the count verb
+        let cmd = parse(&args(&format!(
+            "count --family rgg2d --n 256 --p 2 --alg cetric --calibration {}",
+            {
+                std::fs::write(
+                    &cal_path,
+                    "{\"alpha_seconds\":1e-7,\"beta_seconds_per_word\":1e-10}",
+                )
+                .unwrap();
+                cal_path.display()
+            }
+        )))
+        .unwrap();
+        execute(cmd).unwrap();
+        std::fs::remove_file(cal_path).ok();
     }
 
     #[test]

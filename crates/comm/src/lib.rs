@@ -48,3 +48,6 @@ pub use runtime::{
 };
 pub use stats::{Counters, PhaseStats, RunStats};
 pub use trace::{hash_words, CollKind, SpanKind, SpanRecord, SpanStamp, Trace, TraceEvent};
+pub use tricount_net::{
+    ContentionMeters, ContentionSummary, PeWallLog, WallEvent, WallEventKind, WallProfile,
+};

@@ -160,6 +160,15 @@ pub struct SimOptions {
     /// Externally controlled message delivery order (model checking);
     /// overrides `perturb_seed` for delivery decisions when set.
     pub delivery: Option<Arc<dyn DeliveryPick>>,
+    /// Wall-clock profile the transport (threads backend only): per-PE
+    /// event rings and contention meters, drained into
+    /// [`SimOutput::wall`] and summarised on [`RunStats::contention`].
+    /// Strictly observational — the modeled meters are bit-identical with
+    /// this on or off. No effect on the sim backend.
+    pub wall_profile: bool,
+    /// Per-PE event-ring capacity for `wall_profile` runs; 0 selects the
+    /// backend default. Overflow degrades to a counted drop.
+    pub wall_ring_capacity: usize,
 }
 
 impl std::fmt::Debug for SimOptions {
@@ -170,6 +179,8 @@ impl std::fmt::Debug for SimOptions {
             .field("record_trace", &self.record_trace)
             .field("perturb_seed", &self.perturb_seed)
             .field("delivery", &self.delivery.as_ref().map(|_| "<hook>"))
+            .field("wall_profile", &self.wall_profile)
+            .field("wall_ring_capacity", &self.wall_ring_capacity)
             .finish()
     }
 }
@@ -195,6 +206,15 @@ impl SimOptions {
     pub fn on(transport: TransportKind) -> Self {
         SimOptions {
             transport,
+            ..SimOptions::default()
+        }
+    }
+
+    /// Options for a wall-profiled threads run.
+    pub fn wall_profiled() -> Self {
+        SimOptions {
+            transport: TransportKind::Threads,
+            wall_profile: true,
             ..SimOptions::default()
         }
     }
@@ -757,6 +777,9 @@ pub struct SimOutput<R> {
     pub output: RunOutput<R>,
     /// The recorded trace, if any.
     pub trace: Option<Trace>,
+    /// The drained wall-clock profile of a [`SimOptions::wall_profile`]
+    /// threads run, if any.
+    pub wall: Option<tricount_net::WallProfile>,
 }
 
 /// What one rank thread hands back: result, phase records, trace events,
@@ -813,8 +836,14 @@ where
 }
 
 /// Assembles per-rank outcomes into a [`SimOutput`]; all ranks must agree on
-/// the phase sequence.
-fn assemble<R>(p: usize, outcomes: Vec<RankOutcome<R>>, want_trace: bool) -> SimOutput<R> {
+/// the phase sequence. `wall` is the drained wall profile of a profiled
+/// threads run (every rank thread must already be joined).
+fn assemble<R>(
+    p: usize,
+    outcomes: Vec<RankOutcome<R>>,
+    want_trace: bool,
+    wall: Option<tricount_net::WallProfile>,
+) -> SimOutput<R> {
     let mut results = Vec::with_capacity(p);
     let mut per_rank_phases: Vec<Vec<PhaseRecord>> = Vec::with_capacity(p);
     let mut per_pe_trace: Vec<Vec<TraceEvent>> = Vec::with_capacity(p);
@@ -886,12 +915,18 @@ fn assemble<R>(p: usize, outcomes: Vec<RankOutcome<R>>, want_trace: bool) -> Sim
         per_pe: per_pe_trace,
         spans: per_pe_spans,
     });
+    let contention = wall.as_ref().map(|w| w.contention());
     SimOutput {
         output: RunOutput {
             results,
-            stats: RunStats { p, phases },
+            stats: RunStats {
+                p,
+                phases,
+                contention,
+            },
         },
         trace,
+        wall,
     }
 }
 
@@ -939,7 +974,11 @@ where
 {
     assert!(p > 0, "need at least one PE");
     let shared = make_shared(p);
-    let endpoints = tricount_net::endpoints(opts.transport, p);
+    let (endpoints, collector) = if opts.wall_profile {
+        tricount_net::endpoints_profiled(opts.transport, p, opts.wall_ring_capacity)
+    } else {
+        (tricount_net::endpoints(opts.transport, p), None)
+    };
     let mut outcomes: Vec<RankOutcome<R>> = Vec::with_capacity(p);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
@@ -967,7 +1006,10 @@ where
             std::panic::resume_unwind(payload);
         }
     });
-    assemble(p, outcomes, opts.record_trace)
+    // Every rank thread is joined: the endpoints have dropped and each PE's
+    // wall log (if profiling) has been deposited.
+    let wall = collector.map(tricount_net::WallCollector::drain);
+    assemble(p, outcomes, opts.record_trace, wall)
 }
 
 /// One PE's state in a [`DeadlockReport`].
@@ -1108,7 +1150,11 @@ where
 {
     assert!(p > 0, "need at least one PE");
     let shared = Arc::new(make_shared(p));
-    let endpoints = tricount_net::endpoints(opts.transport, p);
+    let (endpoints, collector) = if opts.wall_profile {
+        tricount_net::endpoints_profiled(opts.transport, p, opts.wall_ring_capacity)
+    } else {
+        (tricount_net::endpoints(opts.transport, p), None)
+    };
     let f = Arc::new(f);
     let opts_copy = opts.clone();
     let (done_tx, done_rx) = mpsc::channel::<(usize, RankOutcome<R>)>();
@@ -1143,9 +1189,13 @@ where
                 completed += 1;
                 last_change = Instant::now();
                 if completed == p {
-                    // every slot is Some: `completed` counts distinct ranks
+                    // every slot is Some: `completed` counts distinct ranks.
+                    // A rank's outcome is sent only after `drive_rank`
+                    // returned, i.e. after its endpoint dropped and (if
+                    // profiling) deposited its wall log.
                     let outcomes: Vec<RankOutcome<R>> = slots.into_iter().flatten().collect();
-                    return Ok(assemble(p, outcomes, opts.record_trace));
+                    let wall = collector.map(tricount_net::WallCollector::drain);
+                    return Ok(assemble(p, outcomes, opts.record_trace, wall));
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}

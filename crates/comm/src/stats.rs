@@ -187,6 +187,11 @@ pub struct RunStats {
     pub p: usize,
     /// Phases in execution order.
     pub phases: Vec<PhaseStats>,
+    /// Measured transport contention (queue lock-wait, occupancy
+    /// high-water, barrier spin) of a wall-profiled threads run
+    /// (`SimOptions::wall_profile`); `None` otherwise. Strictly additive:
+    /// the modeled meters above are bit-identical with or without it.
+    pub contention: Option<tricount_net::ContentionSummary>,
 }
 
 impl RunStats {
@@ -352,6 +357,7 @@ mod tests {
                 PhaseStats::unmeasured("a", vec![c(1, 10, 0, 0, 0), c(3, 2, 0, 0, 0)]),
                 PhaseStats::unmeasured("b", vec![c(4, 1, 0, 0, 0), c(1, 5, 0, 0, 0)]),
             ],
+            contention: None,
         };
         // rank0: 5 msgs, 11 words; rank1: 4 msgs, 7 words
         assert_eq!(stats.max_sent_messages(), 5);
@@ -392,6 +398,7 @@ mod tests {
                 PhaseStats::unmeasured("x", vec![a, b]),
                 PhaseStats::unmeasured("y", vec![c(0, 0, 0, 0, 1), c(0, 0, 0, 0, 2)]),
             ],
+            contention: None,
         };
         let t = stats.totals();
         assert_eq!(t.sent_messages, 4);

@@ -273,6 +273,68 @@ pub fn run_on_stats(
     ))
 }
 
+/// Like [`run_on_stats`], additionally returning the drained wall-clock
+/// profile when the resolved options enable [`SimOptions::wall_profile`]
+/// on the threads backend (`None` otherwise — the sim backend has no wall
+/// clock worth measuring). This is the `tricount profile` dual-clock path.
+#[allow(clippy::type_complexity)]
+pub fn run_on_profiled(
+    dg: DistGraph,
+    alg: Algorithm,
+    cfg: &DistConfig,
+    opts: &SimOptions,
+) -> Result<
+    (
+        CountResult,
+        Option<Trace>,
+        dispatch::DispatchReport,
+        Option<tricount_comm::WallProfile>,
+    ),
+    DistError,
+> {
+    let opts = resolve_opts(cfg, opts);
+    let p = dg.num_ranks();
+    let cells = into_cells(dg);
+    let body = |ctx: &mut Ctx| {
+        let lg = cells[ctx.rank()]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("local graph already taken");
+        match alg {
+            Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => {
+                Ok(ditric::run_rank_stats(ctx, lg, cfg))
+            }
+            Algorithm::Cetric | Algorithm::Cetric2 => Ok(cetric::run_rank_stats(ctx, lg, cfg)),
+            Algorithm::TricLike => baselines::tric_like_rank(ctx, lg, cfg)
+                .map(|c| (c, dispatch::DispatchReport::new())),
+            Algorithm::HavoqgtLike => Ok((
+                baselines::havoqgt_like_rank(ctx, lg, cfg),
+                dispatch::DispatchReport::new(),
+            )),
+        }
+    };
+    let sim = run_sim(p, &opts, body);
+    let mut triangles = 0u64;
+    let mut report = dispatch::DispatchReport::new();
+    for (i, r) in sim.output.results.into_iter().enumerate() {
+        let (c, d) = r?;
+        if i == 0 {
+            triangles = c;
+        }
+        report.absorb(&d);
+    }
+    Ok((
+        CountResult {
+            triangles,
+            stats: sim.output.stats,
+        },
+        sim.trace,
+        report,
+        sim.wall,
+    ))
+}
+
 /// Like [`run_on`], but under the deadlock watchdog
 /// ([`tricount_comm::run_guarded`]): if no PE makes progress for `timeout`,
 /// the run is abandoned and the watchdog's wait-for-graph diagnosis comes

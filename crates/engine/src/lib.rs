@@ -98,6 +98,10 @@ pub struct EngineConfig {
     /// [`Engine::apply_updates`] folds the overlays into fresh prepared
     /// state (a communication-free re-orient + re-contract).
     pub compaction_fraction: f64,
+    /// Record wall-clock transport events and contention meters on every
+    /// run (threads transport only; a no-op on the simulator). Strictly
+    /// additive: the modeled counters are bit-identical either way.
+    pub wall_profile: bool,
 }
 
 impl EngineConfig {
@@ -113,6 +117,7 @@ impl EngineConfig {
             timing: Some(CostModel::supermuc()),
             perturb_seed: None,
             compaction_fraction: 0.25,
+            wall_profile: false,
         }
     }
 }
@@ -198,11 +203,32 @@ struct Metrics {
     batch_sizes: LogHistogram,
     /// Accumulated intra-engine pool counters.
     pool_workers: Vec<WorkerStats>,
+    /// Runs that carried wall-clock contention meters.
+    profiled_runs: u64,
+    /// Summed queue lock-wait seconds over all profiled runs.
+    lock_wait_seconds_total: f64,
+    /// Summed barrier spin seconds over all profiled runs.
+    barrier_spin_seconds_total: f64,
+    /// Wall events dropped to ring overflow over all profiled runs.
+    wall_events_dropped: u64,
     /// Lifecycle spans (batch/admit/run/answer per tick).
     spans: Vec<EngineSpan>,
     /// Per-phase kernel-dispatch tallies over every query and update run,
     /// folded in canonical (phase, rank) order.
     kernel_dispatch: DispatchReport,
+}
+
+impl Metrics {
+    /// Folds a profiled run's transport contention meters in (no-op for
+    /// unprofiled runs — `stats.contention` is `None`).
+    fn absorb_contention(&mut self, stats: &RunStats) {
+        if let Some(c) = &stats.contention {
+            self.profiled_runs += 1;
+            self.lock_wait_seconds_total += c.lock_wait_seconds();
+            self.barrier_spin_seconds_total += c.barrier_spin_seconds();
+            self.wall_events_dropped += c.events_dropped;
+        }
+    }
 }
 
 /// A long-lived engine serving queries against a graph loaded once.
@@ -249,6 +275,7 @@ impl Engine {
             timing: cfg.timing,
             record_trace: false,
             perturb_seed: None,
+            wall_profile: cfg.wall_profile,
             ..SimOptions::default()
         };
         let (ranks, setup_stats) = build_residency(dg, &cfg.dist, &opts);
@@ -447,6 +474,7 @@ impl Engine {
                 Ok((value, stats, wall, dispatch)) => {
                     let modeled = stats.modeled_time(&cost);
                     self.metrics.kernel_dispatch.absorb(&dispatch);
+                    self.metrics.absorb_contention(&stats);
                     self.metrics.query_comm.absorb(&stats.totals());
                     self.metrics
                         .query_preprocessing_comm
@@ -599,6 +627,7 @@ impl Engine {
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
+            wall_profile: self.cfg.wall_profile,
             ..SimOptions::default()
         };
         let update_begin = self.now_nanos();
@@ -615,6 +644,7 @@ impl Engine {
         .map_err(DistError::from)?;
         let wall = started.elapsed().as_secs_f64();
         let stats = out.output.stats;
+        self.metrics.absorb_contention(&stats);
         let outcomes = out.output.results;
 
         // Kernel-dispatch tallies of the counting passes, folded per rank
@@ -694,6 +724,7 @@ impl Engine {
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
+            wall_profile: self.cfg.wall_profile,
             ..SimOptions::default()
         };
         let begin = self.now_nanos();
@@ -708,6 +739,7 @@ impl Engine {
         self.ranks = Arc::new(out.output.results);
         self.dirty = false;
         self.metrics.compactions += 1;
+        self.metrics.absorb_contention(&out.output.stats);
         self.metrics
             .compaction_comm
             .absorb(&out.output.stats.totals());
@@ -718,6 +750,16 @@ impl Engine {
             end_nanos: self.now_nanos(),
         });
         Ok(())
+    }
+
+    /// Folds a contention accessor over the setup and baseline runs (the
+    /// two runs metered before `Metrics` accumulates anything).
+    fn boot_contention(&self, f: impl Fn(&tricount_comm::ContentionSummary) -> f64) -> f64 {
+        [&self.setup_stats, &self.baseline_stats]
+            .iter()
+            .filter_map(|s| s.contention.as_ref())
+            .map(f)
+            .sum()
     }
 
     /// Snapshots aggregate and per-query serving statistics.
@@ -752,6 +794,23 @@ impl Engine {
             query_preprocessing_comm: self.metrics.query_preprocessing_comm,
             modeled_seconds_total: self.metrics.modeled_seconds_total,
             wall_seconds_total: self.metrics.wall_seconds_total,
+            profiled_runs: {
+                let boot = [&self.setup_stats, &self.baseline_stats]
+                    .iter()
+                    .filter(|s| s.contention.is_some())
+                    .count() as u64;
+                self.metrics.profiled_runs + boot
+            },
+            lock_wait_seconds_total: self.metrics.lock_wait_seconds_total
+                + self.boot_contention(tricount_comm::ContentionSummary::lock_wait_seconds),
+            barrier_spin_seconds_total: self.metrics.barrier_spin_seconds_total
+                + self.boot_contention(tricount_comm::ContentionSummary::barrier_spin_seconds),
+            wall_events_dropped: self.metrics.wall_events_dropped
+                + [&self.setup_stats, &self.baseline_stats]
+                    .iter()
+                    .filter_map(|s| s.contention.as_ref())
+                    .map(|c| c.events_dropped)
+                    .sum::<u64>(),
             queue_wait: self.metrics.queue_wait.summary_seconds(),
             run_wall: self.metrics.run_wall.summary_seconds(),
             run_modeled: self.metrics.run_modeled.summary_seconds(),
@@ -876,6 +935,29 @@ impl Engine {
             "Tickets drained per tick",
             &m.batch_sizes,
         );
+        let snapshot = self.stats();
+        if snapshot.profiled_runs > 0 {
+            reg.counter(
+                "tricount_engine_profiled_runs_total",
+                "Runs that carried wall-clock transport contention meters",
+                snapshot.profiled_runs,
+            );
+            reg.gauge(
+                "tricount_engine_transport_lock_wait_seconds",
+                "Summed transport queue lock-wait seconds over profiled runs",
+                snapshot.lock_wait_seconds_total,
+            );
+            reg.gauge(
+                "tricount_engine_transport_barrier_spin_seconds",
+                "Summed transport barrier spin seconds over profiled runs",
+                snapshot.barrier_spin_seconds_total,
+            );
+            reg.counter(
+                "tricount_engine_wall_events_dropped_total",
+                "Wall events lost to probe-ring overflow over profiled runs",
+                snapshot.wall_events_dropped,
+            );
+        }
         for (phase, counters) in &m.kernel_dispatch.phases {
             for (kernel, n) in counters.named() {
                 reg.counter_with(
@@ -959,6 +1041,7 @@ impl Engine {
             timing: self.cfg.timing,
             record_trace: false,
             perturb_seed: self.cfg.perturb_seed,
+            wall_profile: self.cfg.wall_profile,
             ..SimOptions::default()
         };
         let started = Instant::now();

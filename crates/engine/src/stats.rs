@@ -111,6 +111,15 @@ pub struct EngineStats {
     pub modeled_seconds_total: f64,
     /// Sum of wall times over all executed runs.
     pub wall_seconds_total: f64,
+    /// Runs (setup, baseline, queries, updates, compactions) that carried
+    /// wall-clock contention meters (0 unless `wall_profile` on threads).
+    pub profiled_runs: u64,
+    /// Summed transport queue lock-wait seconds over profiled runs.
+    pub lock_wait_seconds_total: f64,
+    /// Summed transport barrier spin seconds over profiled runs.
+    pub barrier_spin_seconds_total: f64,
+    /// Wall events lost to probe-ring overflow over profiled runs.
+    pub wall_events_dropped: u64,
     /// Queue-wait latency distribution (submit → draining tick).
     pub queue_wait: Summary,
     /// Wall latency distribution of executed runs (cache hits excluded).
@@ -200,6 +209,22 @@ impl EngineStats {
             &mut s,
             "wall_seconds_total",
             &json_f64(self.wall_seconds_total),
+        );
+        push_field(&mut s, "profiled_runs", &self.profiled_runs.to_string());
+        push_field(
+            &mut s,
+            "lock_wait_seconds_total",
+            &json_f64(self.lock_wait_seconds_total),
+        );
+        push_field(
+            &mut s,
+            "barrier_spin_seconds_total",
+            &json_f64(self.barrier_spin_seconds_total),
+        );
+        push_field(
+            &mut s,
+            "wall_events_dropped",
+            &self.wall_events_dropped.to_string(),
         );
         push_field(&mut s, "queue_wait", &summary_json(&self.queue_wait));
         push_field(&mut s, "run_wall", &summary_json(&self.run_wall));
@@ -342,6 +367,10 @@ mod tests {
             query_preprocessing_comm: Counters::default(),
             modeled_seconds_total: 0.5,
             wall_seconds_total: 0.25,
+            profiled_runs: 2,
+            lock_wait_seconds_total: 0.003,
+            barrier_spin_seconds_total: 0.004,
+            wall_events_dropped: 0,
             queue_wait: Summary {
                 count: 1,
                 mean: 0.001,
@@ -392,6 +421,10 @@ mod tests {
         assert!(j.contains("\"queue_wait\":{\"count\":1"));
         assert!(j.contains("\"pool\":[{\"executed\":1"));
         assert!(j.contains("\"queue_seconds\":0.001"));
+        assert!(j.contains("\"profiled_runs\":2"));
+        assert!(j.contains("\"lock_wait_seconds_total\":0.003"));
+        assert!(j.contains("\"barrier_spin_seconds_total\":0.004"));
+        assert!(j.contains("\"wall_events_dropped\":0"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

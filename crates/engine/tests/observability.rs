@@ -129,3 +129,55 @@ fn prometheus_exposition_parses_and_carries_quantiles() {
         "per-worker pool counters present"
     );
 }
+
+#[test]
+fn wall_profiled_engine_reports_contention() {
+    use tricount_comm::TransportKind;
+    let g = tricount_gen::rgg2d_default(128, 3);
+
+    // profiling off: nothing is profiled, the snapshot stays silent
+    let mut plain_cfg = EngineConfig::new(2);
+    plain_cfg.dist.transport = TransportKind::Threads;
+    let mut plain = Engine::build(&g, plain_cfg);
+    plain
+        .submit(Query::GlobalTriangles {
+            algorithm: Algorithm::Cetric,
+        })
+        .unwrap();
+    plain.tick();
+    let off = plain.stats();
+    assert_eq!(off.profiled_runs, 0);
+    assert!(!plain.prometheus().contains("tricount_engine_profiled_runs"));
+
+    // profiling on: setup + baseline + the query run all carry meters,
+    // and the modeled counters match the unprofiled engine exactly
+    let mut cfg = EngineConfig::new(2);
+    cfg.dist.transport = TransportKind::Threads;
+    cfg.wall_profile = true;
+    let mut e = Engine::build(&g, cfg);
+    e.submit(Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    })
+    .unwrap();
+    e.tick();
+    let s = e.stats();
+    assert!(s.profiled_runs >= 3, "setup, baseline and one query run");
+    assert!(s.lock_wait_seconds_total >= 0.0);
+    assert!(s.barrier_spin_seconds_total > 0.0, "barriers always spin");
+    assert_eq!(
+        s.query_comm, off.query_comm,
+        "profiling must not perturb the modeled meters"
+    );
+    assert_eq!(s.resident_triangles, off.resident_triangles);
+    let json = s.to_json();
+    assert!(json.contains("\"profiled_runs\":"));
+    assert!(json.contains("\"barrier_spin_seconds_total\":"));
+    let text = e.prometheus();
+    let samples = parse_exposition(&text).expect("exposition parses");
+    assert!(
+        samples
+            .iter()
+            .any(|x| x.name == "tricount_engine_transport_barrier_spin_seconds" && x.value > 0.0),
+        "contention gauges exported"
+    );
+}

@@ -35,10 +35,15 @@
 
 #![warn(missing_docs)]
 
+pub mod profile;
 pub mod sim;
 pub mod spin;
 pub mod threads;
 
+pub use profile::{
+    ContentionMeters, ContentionSummary, PeWallLog, WallCollector, WallEvent, WallEventKind,
+    WallProfile,
+};
 pub use sim::SimTransport;
 pub use spin::SpinBarrier;
 pub use threads::ThreadsTransport;
@@ -137,6 +142,29 @@ pub fn endpoints(kind: TransportKind, p: usize) -> Vec<Box<dyn Endpoint>> {
     match kind {
         TransportKind::Sim => sim::SimTransport::endpoints(p),
         TransportKind::Threads => threads::ThreadsTransport::endpoints(p),
+    }
+}
+
+/// Like [`endpoints`], but with wall-clock profiling where the backend
+/// supports it. The threads backend returns a [`WallCollector`] to drain
+/// after the rank threads are joined; the simulator has no wall clock
+/// worth measuring (its schedule is a deterministic fiction), so it
+/// returns plain endpoints and no collector.
+pub fn endpoints_profiled(
+    kind: TransportKind,
+    p: usize,
+    ring_capacity: usize,
+) -> (
+    Vec<Box<dyn Endpoint>>,
+    Option<std::sync::Arc<WallCollector>>,
+) {
+    assert!(p > 0, "need at least one PE");
+    match kind {
+        TransportKind::Sim => (sim::SimTransport::endpoints(p), None),
+        TransportKind::Threads => {
+            let (eps, coll) = threads::ThreadsTransport::endpoints_profiled(p, ring_capacity);
+            (eps, Some(coll))
+        }
     }
 }
 

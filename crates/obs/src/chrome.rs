@@ -21,6 +21,8 @@ use tricount_comm::cost::CostModel;
 use tricount_comm::stats::RunStats;
 use tricount_comm::trace::{Trace, TraceEvent};
 
+use crate::wall::WallTimeline;
+
 /// Escapes a string for embedding in a JSON string literal.
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -167,6 +169,24 @@ pub fn export_run(trace: &Trace, stats: &RunStats, cost: &CostModel) -> RunExpor
         "trace and stats disagree on the PE count"
     );
     let mut b = ChromeTraceBuilder::new();
+    let flow_arrows = emit_modeled(&mut b, trace, stats, cost);
+    RunExport {
+        json: b.finish(),
+        flow_arrows,
+        tracks: p,
+    }
+}
+
+/// Emits the modeled (reconstructed) machine into `b` as process [`PID`]
+/// and returns the flow-arrow count. Shared by [`export_run`] and the
+/// modeled half of [`export_dual`].
+fn emit_modeled(
+    b: &mut ChromeTraceBuilder,
+    trace: &Trace,
+    stats: &RunStats,
+    cost: &CostModel,
+) -> u64 {
+    let p = stats.p;
     b.process_name(PID, "simulated machine");
     for r in 0..p {
         b.thread_name(PID, r as u64, &format!("PE {r}"));
@@ -243,9 +263,152 @@ pub fn export_run(trace: &Trace, stats: &RunStats, cost: &CostModel) -> RunExpor
         }
     }
 
-    RunExport {
+    flow_arrows
+}
+
+/// What [`export_dual`] produced.
+#[derive(Debug)]
+pub struct DualExport {
+    /// The chrome-trace JSON document: process 0 is the modeled machine,
+    /// process 1 the measured wall clock.
+    pub json: String,
+    /// Flow arrows on the modeled track (= `totals().recv_messages`).
+    pub modeled_flows: u64,
+    /// Flow arrows on the measured track (= matched send→recv pairs in the
+    /// wall timeline; ring overflow can make this smaller).
+    pub measured_flows: u64,
+    /// PE tracks per process.
+    pub tracks: usize,
+}
+
+/// Wall nanoseconds → chrome-trace microseconds.
+const NS_TO_US: f64 = 1e-3;
+
+/// Renders a wall-profiled run as a **dual-clock** chrome trace: process 0
+/// is the deterministic modeled reconstruction of [`export_run`], process 1
+/// is the measured wall clock of the same run — per-PE phase slices at
+/// their real wall boundaries, barrier-spin slices, flow arrows at the
+/// actual send→recv stamps, and per-PE contention counter series
+/// (`send_lock_wait_ns`, `recv_lock_wait_ns`, `barrier_spin_ns`,
+/// `occupancy_highwater`). Loading the document shows fiction and fact
+/// side by side, per PE.
+///
+/// The two processes tick on different epochs (the model starts at 0; the
+/// wall track starts when the transport was built), so compare *durations
+/// and shapes*, not absolute offsets. The modeled half stays byte-stable
+/// across runs; the measured half is honest and therefore is not.
+pub fn export_dual(
+    trace: &Trace,
+    stats: &RunStats,
+    cost: &CostModel,
+    timeline: &WallTimeline,
+) -> DualExport {
+    let p = stats.p;
+    assert_eq!(timeline.p, p, "timeline and stats disagree on the PE count");
+    let mut b = ChromeTraceBuilder::new();
+    let modeled_flows = emit_modeled(&mut b, trace, stats, cost);
+
+    const WPID: u64 = 1;
+    b.process_name(WPID, "measured (wall)");
+    for r in 0..p {
+        b.thread_name(WPID, r as u64, &format!("PE {r}"));
+    }
+
+    // Measured phase slices: each rank's own cumulative wall seconds. The
+    // phase records are stamped on the runtime's epoch, not the
+    // transport's, so the slices carry phase *durations* laid end to end
+    // from 0 — aligned with the flow stamps only up to setup skew.
+    for r in 0..p {
+        let mut t = 0.0f64;
+        for ph in &stats.phases {
+            let dur = ph.wall_per_rank.get(r).copied().unwrap_or(0.0);
+            b.complete(WPID, r as u64, "phase", &ph.name, t * US, dur * US);
+            t += dur;
+        }
+    }
+
+    // Barrier spin: real intervals from the wall probe.
+    for (r, ivs) in timeline.barriers.iter().enumerate() {
+        for iv in ivs {
+            let dur = iv.exit_nanos.saturating_sub(iv.enter_nanos);
+            b.complete(
+                WPID,
+                r as u64,
+                "barrier",
+                "barrier spin",
+                iv.enter_nanos as f64 * NS_TO_US,
+                dur as f64 * NS_TO_US,
+            );
+        }
+    }
+
+    // Flow arrows at the real send→recv stamps. Ids continue past the
+    // modeled ones (they must be unique per document).
+    let mut flow_id = u64::MAX / 2;
+    for f in &timeline.flows {
+        flow_id += 1;
+        b.flow_start(
+            flow_id,
+            WPID,
+            f.src as u64,
+            "msg",
+            "msg",
+            f.send_nanos as f64 * NS_TO_US,
+        );
+        b.flow_finish(
+            flow_id,
+            WPID,
+            f.dst as u64,
+            "msg",
+            "msg",
+            f.recv_nanos as f64 * NS_TO_US,
+        );
+    }
+
+    // Contention counter series, one closing sample per PE.
+    if let Some(c) = &stats.contention {
+        let ts = timeline.end_nanos as f64 * NS_TO_US;
+        for r in 0..p.min(c.p) {
+            let tid = r as u64;
+            b.counter(
+                WPID,
+                tid,
+                "send_lock_wait_ns",
+                "ns",
+                ts,
+                c.send_lock_wait_nanos[r],
+            );
+            b.counter(
+                WPID,
+                tid,
+                "recv_lock_wait_ns",
+                "ns",
+                ts,
+                c.recv_lock_wait_nanos[r],
+            );
+            b.counter(
+                WPID,
+                tid,
+                "barrier_spin_ns",
+                "ns",
+                ts,
+                c.barrier_spin_nanos[r],
+            );
+            b.counter(
+                WPID,
+                tid,
+                "occupancy_highwater",
+                "msgs",
+                ts,
+                c.occupancy_highwater[r],
+            );
+        }
+    }
+
+    DualExport {
         json: b.finish(),
-        flow_arrows,
+        modeled_flows,
+        measured_flows: timeline.flows.len() as u64,
         tracks: p,
     }
 }
@@ -271,6 +434,7 @@ mod tests {
         RunStats {
             p: 2,
             phases: vec![PhaseStats::unmeasured("local", vec![c0, c1])],
+            contention: None,
         }
     }
 
@@ -341,5 +505,98 @@ mod tests {
         shuffled.per_pe[1].remove(1);
         let again = export_run(&shuffled, &tiny_stats(), &cost);
         assert_eq!(base.json, again.json);
+    }
+
+    #[test]
+    fn dual_export_renders_both_clocks() {
+        use tricount_comm::{ContentionMeters, PeWallLog, WallEvent, WallEventKind, WallProfile};
+        let cost = CostModel::supermuc();
+        let mut stats = tiny_stats();
+        stats.phases[0].wall_per_rank = vec![0.001, 0.002];
+        let mut meters0 = ContentionMeters::new(2);
+        meters0.send_lock_wait_nanos[1] = 40;
+        meters0.occupancy_highwater[1] = 1;
+        stats.contention = Some(
+            WallProfile {
+                p: 2,
+                ring_capacity: 64,
+                per_pe: vec![
+                    PeWallLog {
+                        rank: 0,
+                        events: Vec::new(),
+                        dropped: 0,
+                        meters: meters0.clone(),
+                    },
+                    PeWallLog {
+                        rank: 1,
+                        events: Vec::new(),
+                        dropped: 0,
+                        meters: ContentionMeters::new(2),
+                    },
+                ],
+            }
+            .contention(),
+        );
+        let profile = WallProfile {
+            p: 2,
+            ring_capacity: 64,
+            per_pe: vec![
+                PeWallLog {
+                    rank: 0,
+                    events: vec![
+                        WallEvent {
+                            kind: WallEventKind::Send {
+                                to: 1,
+                                seq: 0,
+                                words: 4,
+                            },
+                            t_nanos: 100,
+                        },
+                        WallEvent {
+                            kind: WallEventKind::BarrierEnter,
+                            t_nanos: 200,
+                        },
+                        WallEvent {
+                            kind: WallEventKind::BarrierExit,
+                            t_nanos: 900,
+                        },
+                    ],
+                    dropped: 0,
+                    meters: meters0,
+                },
+                PeWallLog {
+                    rank: 1,
+                    events: vec![WallEvent {
+                        kind: WallEventKind::Recv {
+                            from: 0,
+                            seq: 0,
+                            words: 4,
+                        },
+                        t_nanos: 500,
+                    }],
+                    dropped: 0,
+                    meters: ContentionMeters::new(2),
+                },
+            ],
+        };
+        let timeline = WallTimeline::build(&profile);
+        let export = export_dual(&tiny_trace(), &stats, &cost, &timeline);
+        validate(&export.json).expect("valid JSON");
+        assert_eq!(export.tracks, 2);
+        assert_eq!(export.modeled_flows, 1);
+        assert_eq!(export.measured_flows, 1);
+        assert!(export.json.contains("\"name\":\"simulated machine\""));
+        assert!(export.json.contains("\"name\":\"measured (wall)\""));
+        assert!(export.json.contains("barrier spin"));
+        assert!(export.json.contains("send_lock_wait_ns"));
+        assert!(export.json.contains("occupancy_highwater"));
+        // the modeled half is still byte-identical to a plain export's
+        let plain = export_run(&tiny_trace(), &stats, &cost);
+        assert!(export.json.starts_with(
+            plain
+                .json
+                .strip_suffix("\n]}\n")
+                .expect("modeled document suffix")
+        ));
     }
 }

@@ -22,6 +22,10 @@
 //!   population from [`tricount_comm::RunStats`].
 //! * [`json`] — a minimal JSON validity checker for exporter tests (the
 //!   workspace builds without registry access, so no serde).
+//! * [`wall`] — the measured side of the dual clock: rebuilds a
+//!   [`wall::WallTimeline`] (matched send→recv flows, queue-dwell
+//!   histogram, barrier intervals) from the threads backend's wall-clock
+//!   probe, feeding the dual-clock Chrome export and the model-fit report.
 //!
 //! Span *recording* lives in `tricount-comm` ([`tricount_comm::SpanRecord`],
 //! behind the `trace` feature): spans are pushed into private per-PE
@@ -36,10 +40,13 @@ pub mod hist;
 pub mod json;
 pub mod prom;
 pub mod report;
+pub mod wall;
 
-pub use chrome::{export_run, ChromeTraceBuilder, RunExport};
+pub use chrome::{export_dual, export_run, ChromeTraceBuilder, RunExport};
 pub use hist::{LogHistogram, Summary};
 pub use prom::{parse_exposition, MetricsRegistry, Sample};
 pub use report::{
     comm_histograms, dispatch_table, phase_report, run_metrics, span_summary, CommHistograms,
+    ModelFitReport,
 };
+pub use wall::{wall_metrics, BarrierInterval, Flow, WallTimeline};

@@ -98,6 +98,139 @@ pub fn phase_report(stats: &RunStats, trace: Option<&Trace>, cost: &CostModel) -
     out
 }
 
+/// One phase's modeled-vs-measured comparison in a [`ModelFitReport`].
+#[derive(Debug, Clone)]
+pub struct PhaseFit {
+    /// Phase name.
+    pub name: String,
+    /// Modeled phase time (max over ranks, seconds).
+    pub modeled_seconds: f64,
+    /// Measured wall phase time (max over ranks, seconds).
+    pub measured_seconds: f64,
+    /// `measured / modeled` (∞ when the model predicts zero but the wall
+    /// clock disagrees).
+    pub ratio: f64,
+    /// Whether the discrepancy factor `max(ratio, 1/ratio)` exceeds the
+    /// report's threshold.
+    pub flagged: bool,
+}
+
+/// Modeled-vs-measured fit of one run: per-phase ratios with outlier
+/// flagging, and a calibration hand-off that feeds the overall discrepancy
+/// back into [`CostModel::calibrated`].
+///
+/// This is the honesty check the dual-clock trace visualizes: phases where
+/// the α/β/t_op fiction and the host's wall clock disagree by more than
+/// `threshold`× are exactly where contention (or an unmodeled cost) lives.
+#[derive(Debug, Clone)]
+pub struct ModelFitReport {
+    /// Per-phase fits, in execution order (phases without wall
+    /// measurements are skipped).
+    pub phases: Vec<PhaseFit>,
+    /// Discrepancy factor above which a phase is flagged.
+    pub threshold: f64,
+    /// Total modeled seconds over the compared phases.
+    pub modeled_total: f64,
+    /// Total measured wall seconds over the compared phases.
+    pub measured_total: f64,
+}
+
+impl ModelFitReport {
+    /// Compares each phase's modeled time against its measured wall time,
+    /// flagging phases whose discrepancy factor exceeds `threshold`
+    /// (i.e. measured/modeled outside `[1/threshold, threshold]`). Phases
+    /// with no wall measurement (synthetic stats) are skipped.
+    pub fn compute(stats: &RunStats, cost: &CostModel, threshold: f64) -> ModelFitReport {
+        let threshold = threshold.max(1.0);
+        let mut phases = Vec::new();
+        let mut modeled_total = 0.0;
+        let mut measured_total = 0.0;
+        for ph in &stats.phases {
+            let measured = ph.max_wall();
+            if measured <= 0.0 {
+                continue;
+            }
+            let modeled = ph.modeled_time(cost);
+            let ratio = if modeled > 0.0 {
+                measured / modeled
+            } else {
+                f64::INFINITY
+            };
+            let factor = if ratio > 0.0 {
+                ratio.max(1.0 / ratio)
+            } else {
+                f64::INFINITY
+            };
+            modeled_total += modeled;
+            measured_total += measured;
+            phases.push(PhaseFit {
+                name: ph.name.clone(),
+                modeled_seconds: modeled,
+                measured_seconds: measured,
+                ratio,
+                flagged: factor > threshold,
+            });
+        }
+        ModelFitReport {
+            phases,
+            threshold,
+            modeled_total,
+            measured_total,
+        }
+    }
+
+    /// Overall `measured / modeled` ratio (1.0 when nothing was compared).
+    pub fn overall_ratio(&self) -> f64 {
+        if self.modeled_total > 0.0 && self.measured_total > 0.0 {
+            self.measured_total / self.modeled_total
+        } else {
+            1.0
+        }
+    }
+
+    /// Phases whose discrepancy exceeded the threshold.
+    pub fn flagged(&self) -> Vec<&PhaseFit> {
+        self.phases.iter().filter(|f| f.flagged).collect()
+    }
+
+    /// Feeds the overall discrepancy back into the cost model: every
+    /// constant of `base` is scaled by [`ModelFitReport::overall_ratio`],
+    /// so the returned model predicts this host's measured totals.
+    /// (A proper per-constant fit needs the probe binaries — see
+    /// `tricount-pingpong`/`tricount-allgather`; this is the coarse
+    /// single-run correction.)
+    pub fn calibrated(&self, base: &CostModel) -> CostModel {
+        let s = self.overall_ratio();
+        CostModel::calibrated(base.alpha * s, base.beta * s, base.t_op * s)
+    }
+
+    /// Renders the fit table plus the flagged-phase verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "model fit (flag threshold {:.1}x)\n{:<16} {:>12} {:>12} {:>10}  {}\n",
+            self.threshold, "phase", "modeled ms", "wall ms", "wall/model", "verdict"
+        ));
+        for f in &self.phases {
+            out.push_str(&format!(
+                "{:<16} {:>12.3} {:>12.3} {:>10.2}  {}\n",
+                f.name,
+                f.modeled_seconds * 1e3,
+                f.measured_seconds * 1e3,
+                f.ratio,
+                if f.flagged { "FLAGGED" } else { "ok" }
+            ));
+        }
+        out.push_str(&format!(
+            "overall wall/model: {:.2} ({} of {} phases flagged)\n",
+            self.overall_ratio(),
+            self.flagged().len(),
+            self.phases.len()
+        ));
+        out
+    }
+}
+
 /// Renders a per-label span summary (count, total wall ms, total simulated
 /// ms) aggregated over all PEs, in first-appearance order.
 pub fn span_summary(trace: &Trace) -> String {
@@ -271,7 +404,35 @@ mod tests {
                     ..Counters::default()
                 }],
             )],
+            contention: None,
         }
+    }
+
+    #[test]
+    fn model_fit_flags_discrepant_phases() {
+        let cost = CostModel::calibrated(0.0, 0.0, 1e-3); // 1 ms per op
+        let mut s = stats(); // one phase, 10 work ops → modeled 10 ms
+        s.phases[0].wall_per_rank = vec![0.200]; // measured 200 ms: 20x off
+        let fit = ModelFitReport::compute(&s, &cost, 3.0);
+        assert_eq!(fit.phases.len(), 1);
+        assert!(fit.phases[0].flagged);
+        assert!((fit.phases[0].ratio - 20.0).abs() < 1e-9);
+        assert_eq!(fit.flagged().len(), 1);
+        let rendered = fit.render();
+        assert!(rendered.contains("FLAGGED"), "{rendered}");
+        // feeding the discrepancy back scales the model onto the host
+        let cal = fit.calibrated(&cost);
+        assert!((cal.t_op - 20e-3).abs() < 1e-12);
+
+        // a phase within tolerance is not flagged
+        s.phases[0].wall_per_rank = vec![0.012];
+        let fit = ModelFitReport::compute(&s, &cost, 3.0);
+        assert!(!fit.phases[0].flagged);
+
+        // synthetic stats (no wall measurements) compare nothing
+        let fit = ModelFitReport::compute(&stats(), &cost, 3.0);
+        assert!(fit.phases.is_empty());
+        assert_eq!(fit.overall_ratio(), 1.0);
     }
 
     #[test]
