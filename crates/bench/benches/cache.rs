@@ -1,0 +1,165 @@
+//! Closed-loop warm/cold benchmark of the remote-adjacency cache: build a
+//! cache-enabled engine, drive a deterministic mixed workload cold (every
+//! remote list ships), then re-drive the identical workload against the
+//! warm cache and report hit rate and adjacency words per query. The warm
+//! pass must save at least 90 % of the adjacency words the cold pass
+//! shipped — the roadmap's acceptance bar, recorded in `BENCH_cache.json`
+//! and gated by `tricount-regress`.
+
+use std::time::Instant;
+
+use cetric::core::Algorithm;
+use cetric::engine::{Engine, EngineConfig, Query};
+use tricount_bench::report::{format_f64, BenchReport};
+use tricount_bench::{fmt_time, print_table, Row, Scale};
+
+fn workload(n: u64) -> Vec<Query> {
+    let mut qs: Vec<Query> = [
+        Algorithm::Cetric,
+        Algorithm::Cetric2,
+        Algorithm::Ditric,
+        Algorithm::Ditric2,
+    ]
+    .into_iter()
+    .map(|algorithm| Query::GlobalTriangles { algorithm })
+    .collect();
+    // cross-partition support queries: endpoints far apart in id space
+    let edges: Vec<(u64, u64)> = (0..32)
+        .map(|i| (i * 3 % (n / 2), n / 2 + (i * 7) % (n / 2)))
+        .collect();
+    qs.push(Query::EdgeSupport { edges });
+    qs.push(Query::VertexLcc {
+        vertices: (0..n).step_by(5).collect(),
+    });
+    qs
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = 1u64 << (9 + scale.shift());
+    let p = 4usize;
+    let budget = 1u64 << 22;
+
+    let g = cetric::gen::rgg2d_default(n, 42);
+    let mut report = BenchReport::new("cache", scale);
+    let mut rows = Vec::new();
+    let push =
+        |rows: &mut Vec<Row>, report: &mut BenchReport, label: &str, cell: String, json: &str| {
+            report.push_raw(label, json);
+            rows.push(Row {
+                label: label.to_string(),
+                cells: vec![cell],
+            });
+        };
+
+    let mut engine = Engine::build(&g, EngineConfig::new(p).with_cache_budget(budget));
+    let qs = workload(n);
+
+    // cold pass: empty cache, every remote adjacency list ships
+    let t0 = Instant::now();
+    for q in &qs {
+        engine.query(q.clone()).expect("cold query");
+    }
+    let cold_seconds = t0.elapsed().as_secs_f64();
+    let cold = engine.stats();
+
+    // warm pass: identical workload; the epoch bump invalidates the
+    // *result* cache so every query re-executes, against warm cells
+    engine.advance_epoch();
+    let t0 = Instant::now();
+    for q in &qs {
+        engine.query(q.clone()).expect("warm query");
+    }
+    let warm_seconds = t0.elapsed().as_secs_f64();
+    let warm = engine.stats();
+
+    let nq = qs.len() as f64;
+    let cold_shipped = cold.query_adjacency.words_shipped;
+    let warm_shipped = warm.query_adjacency.words_shipped - cold_shipped;
+    let warm_saved = warm.query_adjacency.words_saved - cold.query_adjacency.words_saved;
+    let warm_hits = warm.query_adjacency.hits - cold.query_adjacency.hits;
+    let warm_lookups = warm.query_adjacency.lookups - cold.query_adjacency.lookups;
+    let warm_hit_rate = warm_hits as f64 / (warm_lookups as f64).max(1.0);
+    let saved_fraction = warm_saved as f64 / ((warm_saved + warm_shipped) as f64).max(1.0);
+    assert!(
+        warm_saved * 10 >= 9 * (warm_saved + warm_shipped),
+        "warm pass must save >= 90% of adjacency words (saved {warm_saved}, shipped {warm_shipped})"
+    );
+
+    push(
+        &mut rows,
+        &mut report,
+        "cache/cold_adjacency_words_per_query",
+        format!("{:.0}", cold_shipped as f64 / nq),
+        &format_f64(cold_shipped as f64 / nq),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/warm_adjacency_words_per_query",
+        format!("{:.0}", warm_shipped as f64 / nq),
+        &format_f64(warm_shipped as f64 / nq),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/warm_hit_rate",
+        format!("{:.1}%", warm_hit_rate * 100.0),
+        &format_f64(warm_hit_rate),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/warm_words_saved_fraction",
+        format!("{:.3}", saved_fraction),
+        &format_f64(saved_fraction),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/resident_words",
+        format!("{}", warm.adj_cache_resident_words),
+        &format_f64(warm.adj_cache_resident_words as f64),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/resident_entries",
+        format!("{}", warm.adj_cache_entries),
+        &format_f64(warm.adj_cache_entries as f64),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/evictions",
+        format!("{}", warm.query_adjacency.evictions),
+        &format_f64(warm.query_adjacency.evictions as f64),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/cold_serve_seconds",
+        fmt_time(cold_seconds),
+        &format_f64(cold_seconds),
+    );
+    push(
+        &mut rows,
+        &mut report,
+        "cache/warm_serve_seconds",
+        fmt_time(warm_seconds),
+        &format_f64(warm_seconds),
+    );
+
+    print_table(
+        &format!(
+            "adjacency cache, rgg2d n={n} on {p} PEs, {} queries cold+warm, budget {budget} words",
+            qs.len()
+        ),
+        &["value"],
+        &rows,
+    );
+    match report.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_cache.json: {e}"),
+    }
+}

@@ -63,6 +63,8 @@ pub enum Command {
         /// Probe calibration JSON (`tricount-pingpong` /
         /// `tricount-allgather` output) replacing the model's α/β.
         calibration: Option<String>,
+        /// Remote-adjacency cache budget in words (`None` = cache off).
+        cache_budget: Option<u64>,
     },
     /// Compute per-vertex counts / LCC and print the top-k.
     Lcc {
@@ -74,6 +76,8 @@ pub enum Command {
         top: usize,
         /// Data plane carrying the run.
         transport: TransportKind,
+        /// Remote-adjacency cache budget in words (`None` = cache off).
+        cache_budget: Option<u64>,
     },
     /// Enumerate triangles.
     Enumerate {
@@ -108,6 +112,8 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Data plane carrying the engine's runs.
         transport: TransportKind,
+        /// Remote-adjacency cache budget in words (`None` = cache off).
+        cache_budget: Option<u64>,
     },
     /// Load the graph into a resident engine and stream batched edge
     /// updates through the incremental triangle-maintenance path.
@@ -123,6 +129,8 @@ pub enum Command {
         json: bool,
         /// Data plane carrying the engine's runs.
         transport: TransportKind,
+        /// Remote-adjacency cache budget in words (`None` = cache off).
+        cache_budget: Option<u64>,
     },
     /// Run the concurrency checking suite: happens-before analysis and
     /// protocol conformance of a traced run, exhaustive pool-interleaving
@@ -240,6 +248,30 @@ fn apply_calibration(base: CostModel, path: &str) -> Result<CostModel, String> {
     Ok(CostModel::calibrated(alpha, beta, base.t_op))
 }
 
+/// Resolves which calibration file, if any, a run should apply. An explicit
+/// `--calibration PATH` always wins; without one, `TRICOUNT_CALIBRATION`
+/// (when set and non-empty) is consulted, and finally a `calibration.json`
+/// sitting next to a `--input` graph file is picked up automatically — so a
+/// probe fit saved beside the dataset feeds every later run without extra
+/// flags.
+fn resolve_calibration(explicit: Option<String>, source: &Source) -> Option<String> {
+    if explicit.is_some() {
+        return explicit;
+    }
+    if let Ok(path) = std::env::var("TRICOUNT_CALIBRATION") {
+        if !path.is_empty() {
+            return Some(path);
+        }
+    }
+    if let Source::File(graph) = source {
+        let sibling = std::path::Path::new(graph).with_file_name("calibration.json");
+        if sibling.is_file() {
+            return Some(sibling.to_string_lossy().into_owned());
+        }
+    }
+    None
+}
+
 /// Parses the `--transport` override (absent = [`TransportKind::Sim`]).
 fn parse_transport(s: Option<&str>) -> Result<TransportKind, String> {
     match s {
@@ -297,6 +329,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         get(k).map_or(Ok(default), |v| {
             v.parse().map_err(|e| format!("bad --{k} {v:?}: {e}"))
         })
+    };
+    let parse_opt_u64 = |k: &str| -> Result<Option<u64>, String> {
+        get(k)
+            .map(|v| v.parse().map_err(|e| format!("bad --{k} {v:?}: {e}")))
+            .transpose()
     };
 
     let source = if let Some(path) = get("input") {
@@ -373,6 +410,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 config,
                 timed: get("timed").is_some_and(|v| v == "true" || v == "1"),
                 calibration: get("calibration").map(|v| v.to_string()),
+                cache_budget: parse_opt_u64("cache-budget")?,
             })
         }
         "lcc" => Ok(Command::Lcc {
@@ -380,6 +418,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             p,
             top: parse_u64("top", 10)? as usize,
             transport: parse_transport(get("transport"))?,
+            cache_budget: parse_opt_u64("cache-budget")?,
         }),
         "enumerate" => Ok(Command::Enumerate {
             source,
@@ -396,6 +435,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             json: get("json").is_some_and(|v| v == "true" || v == "1"),
             metrics_out: get("metrics-out").map(|v| v.to_string()),
             transport: parse_transport(get("transport"))?,
+            cache_budget: parse_opt_u64("cache-budget")?,
         }),
         "update" => Ok(Command::Update {
             source,
@@ -405,6 +445,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .to_string(),
             json: get("json").is_some_and(|v| v == "true" || v == "1"),
             transport: parse_transport(get("transport"))?,
+            cache_budget: parse_opt_u64("cache-budget")?,
         }),
         "check" => {
             let algorithm = parse_algorithm(get("alg").unwrap_or("cetric"))?
@@ -467,7 +508,9 @@ fn usage() -> String {
      [--queries Q] [--workload-seed S] [--batch UPDATES.txt] [--json 1] \
      [--lint-root DIR] \
      [-o OUT] [--chrome-trace OUT.json] [--phase-report 1] \
-     [--metrics-out OUT.prom] [--calibration PROBE.json]"
+     [--metrics-out OUT.prom] [--calibration PROBE.json] [--cache-budget WORDS]\n\
+     calibration is auto-applied from $TRICOUNT_CALIBRATION or a \
+     calibration.json next to --input"
         .to_string()
 }
 
@@ -503,11 +546,12 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             algorithm,
             p,
             model,
-            config,
+            mut config,
             timed,
             calibration,
+            cache_budget,
         } => {
-            let model = match calibration {
+            let model = match resolve_calibration(calibration, &source) {
                 Some(path) => apply_calibration(model, &path)?,
                 None => model,
             };
@@ -518,7 +562,39 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     println!("triangles: {} (sequential, {} ops)", s.triangles, s.ops);
                 }
                 Some(alg) => {
-                    let r = if timed {
+                    let r = if let Some(budget) = cache_budget {
+                        use tricount_core::{CacheConfig, RankCache};
+                        config.cache = CacheConfig::with_budget(budget);
+                        let dg = tricount_graph::DistGraph::new_balanced_vertices(&g, p);
+                        let caches: Vec<std::sync::Mutex<RankCache>> = (0..p)
+                            .map(|_| {
+                                std::sync::Mutex::new(RankCache::new(
+                                    config.cache,
+                                    p,
+                                    config.memory_limit_words,
+                                ))
+                            })
+                            .collect();
+                        let opts = tricount_comm::SimOptions {
+                            timing: timed.then_some(model),
+                            ..tricount_comm::SimOptions::default()
+                        };
+                        let (r, _, cache) =
+                            tricount_core::run_on_cached(dg, alg, &config, &opts, &caches)
+                                .map_err(|e| e.to_string())?;
+                        println!(
+                            "adjacency cache: {} lookups ({} hits, {} misses) | \
+                             {} words shipped, {} saved | {} staged, {} evicted",
+                            cache.lookups,
+                            cache.hits,
+                            cache.misses,
+                            cache.words_shipped,
+                            cache.words_saved,
+                            cache.staged,
+                            cache.evictions,
+                        );
+                        r
+                    } else if timed {
                         let dg = tricount_graph::DistGraph::new_balanced_vertices(&g, p);
                         tricount_core::dist::run_on_timed(dg, alg, &config, model)
                             .map_err(|e| e.to_string())?
@@ -549,13 +625,39 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             p,
             top,
             transport,
+            cache_budget,
         } => {
             let g = load_source(&source)?;
-            let cfg = DistConfig {
+            let mut cfg = DistConfig {
                 transport,
                 ..DistConfig::default()
             };
-            let r = lcc::lcc(&g, p, &cfg);
+            let r = if let Some(budget) = cache_budget {
+                use tricount_core::{CacheConfig, RankCache};
+                cfg.cache = CacheConfig::with_budget(budget);
+                let caches: Vec<std::sync::Mutex<RankCache>> = (0..p)
+                    .map(|_| {
+                        std::sync::Mutex::new(RankCache::new(cfg.cache, p, cfg.memory_limit_words))
+                    })
+                    .collect();
+                let degrees = g.degrees();
+                let dg = tricount_graph::DistGraph::new_balanced_vertices(&g, p);
+                let (r, cache) = lcc::lcc_on_cached(dg, &cfg, &degrees, &caches);
+                println!(
+                    "adjacency cache: {} lookups ({} hits, {} misses) | \
+                     {} words shipped, {} saved | {} staged, {} evicted",
+                    cache.lookups,
+                    cache.hits,
+                    cache.misses,
+                    cache.words_shipped,
+                    cache.words_saved,
+                    cache.staged,
+                    cache.evictions,
+                );
+                r
+            } else {
+                lcc::lcc(&g, p, &cfg)
+            };
             println!("triangles: {}", r.triangles);
             let mut by_degree: Vec<u64> = g.vertices().collect();
             by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
@@ -617,6 +719,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             batch,
             json,
             transport,
+            cache_budget,
         } => {
             use tricount_delta::parse_batches;
             use tricount_engine::{Engine, EngineConfig};
@@ -627,6 +730,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 return Err(format!("{batch}: no update operations found"));
             }
             let mut ecfg = EngineConfig::new(p);
+            if let Some(budget) = cache_budget {
+                ecfg = ecfg.with_cache_budget(budget);
+            }
             ecfg.dist.transport = transport;
             let mut engine = Engine::build(&g, ecfg);
             println!(
@@ -664,6 +770,18 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     engine.resident_triangles(),
                     engine.epoch()
                 );
+                if s.adj_cache_enabled {
+                    println!(
+                        "adjacency cache: {} update-path hits / {} misses | \
+                         {} patches, {} invalidations | {} resident entries ({} words)",
+                        s.update_adjacency.hits,
+                        s.update_adjacency.misses,
+                        s.update_adjacency.patches,
+                        s.update_adjacency.invalidations,
+                        s.adj_cache_entries,
+                        s.adj_cache_resident_words,
+                    );
+                }
             }
         }
         Command::Check {
@@ -704,7 +822,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             calibration,
         } => {
             use tricount_comm::SimOptions;
-            let model = match calibration {
+            let model = match resolve_calibration(calibration, &source) {
                 Some(path) => apply_calibration(model, &path)?,
                 None => model,
             };
@@ -799,10 +917,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             json,
             metrics_out,
             transport,
+            cache_budget,
         } => {
             use tricount_engine::{scripted_workload, Engine, EngineConfig};
             let g = load_source(&source)?;
             let mut ecfg = EngineConfig::new(p);
+            if let Some(budget) = cache_budget {
+                ecfg = ecfg.with_cache_budget(budget);
+            }
             ecfg.dist.transport = transport;
             let mut engine = Engine::build(&g, ecfg);
             let workload = scripted_workload(queries, g.num_vertices(), seed);
@@ -847,6 +969,19 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     "setup ran {} time(s); queries moved {} msgs / {} words",
                     s.setup_runs, s.query_comm.sent_messages, s.query_comm.sent_words
                 );
+                if s.adj_cache_enabled {
+                    println!(
+                        "adjacency cache: {} hits / {} misses ({:.1}% hit rate) | \
+                         {} words shipped, {} saved | {} resident entries ({} words)",
+                        s.query_adjacency.hits,
+                        s.query_adjacency.misses,
+                        s.adj_cache_hit_rate() * 100.0,
+                        s.query_adjacency.words_shipped,
+                        s.query_adjacency.words_saved,
+                        s.adj_cache_entries,
+                        s.adj_cache_resident_words,
+                    );
+                }
                 println!(
                     "modeled query time {:.3} ms | wall {:.3} ms",
                     s.modeled_seconds_total * 1e3,
@@ -1170,6 +1305,120 @@ mod tests {
         .unwrap();
         execute(cmd).unwrap();
         std::fs::remove_file(cal_path).ok();
+    }
+
+    #[test]
+    fn parse_and_execute_cache_budget() {
+        // the flag parses on every verb that takes it
+        let cmd = parse(&args(
+            "count --family rgg2d --n 256 --p 4 --cache-budget 65536",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::Count { cache_budget, .. } => assert_eq!(*cache_budget, Some(65536)),
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+        let cmd = parse(&args(
+            "lcc --family rgg2d --n 256 --p 4 --cache-budget 65536",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::Lcc { cache_budget, .. } => assert_eq!(*cache_budget, Some(65536)),
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+        let cmd = parse(&args(
+            "serve --family rgg2d --n 128 --p 2 --queries 10 --cache-budget 65536",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::Serve { cache_budget, .. } => assert_eq!(*cache_budget, Some(65536)),
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+        // absent = cache off; garbage is rejected
+        match parse(&args("count --family gnm")).unwrap() {
+            Command::Count { cache_budget, .. } => assert_eq!(cache_budget, None),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&args("count --family gnm --cache-budget lots")).is_err());
+    }
+
+    #[test]
+    fn execute_update_with_cache_budget() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("tricount_cli_cached_updates.txt");
+        std::fs::write(&path, "+ 0 1\n+ 1 2\n+ 0 2\n").unwrap();
+        let cmd = parse(&args(&format!(
+            "update --family rgg2d --n 128 --p 2 --cache-budget 65536 --batch {}",
+            path.display()
+        )))
+        .unwrap();
+        match &cmd {
+            Command::Update { cache_budget, .. } => assert_eq!(*cache_budget, Some(65536)),
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn calibration_is_discovered_next_to_the_graph() {
+        let dir = std::env::temp_dir().join("tricount_cli_autocal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("g.bin");
+        let graph_s = graph.to_str().unwrap().to_string();
+        execute(
+            parse(&args(&format!(
+                "generate --family gnm --n 128 -o {graph_s}"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // no sibling file: nothing is discovered
+        let src = Source::File(graph_s.clone());
+        assert_eq!(resolve_calibration(None, &src), None);
+
+        // a calibration.json next to the graph is picked up and applied
+        let cal = dir.join("calibration.json");
+        std::fs::write(
+            &cal,
+            "{\"alpha_seconds\":1e-7,\"beta_seconds_per_word\":1e-10}",
+        )
+        .unwrap();
+        assert_eq!(
+            resolve_calibration(None, &src),
+            Some(cal.to_str().unwrap().to_string())
+        );
+        execute(
+            parse(&args(&format!(
+                "count --input {graph_s} --p 2 --alg cetric"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // an explicit --calibration always wins over discovery
+        assert_eq!(
+            resolve_calibration(Some("explicit.json".into()), &src),
+            Some("explicit.json".to_string())
+        );
+
+        // generated sources have no directory to search
+        assert_eq!(
+            resolve_calibration(
+                None,
+                &Source::Family {
+                    family: Family::Gnm,
+                    n: 64,
+                    seed: 1
+                }
+            ),
+            None
+        );
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! the local pass optionally runs degree-aware chunked on the `par` pool
 //! with a canonical-order reduction, exactly like CETRIC's.
 
+use tricount_cache::{CacheSession, ListKind};
 use tricount_comm::{Ctx, Envelope, MessageQueue, QueueConfig};
 use tricount_graph::dist::{LocalGraph, OrientedLocalGraph};
 use tricount_graph::kernels::{balanced_chunks, Dispatcher, KernelCounters};
+use tricount_graph::Partition;
 use tricount_graph::VertexId;
 use tricount_par::Pool;
 
@@ -50,10 +52,72 @@ fn count_local_vertex(o: &OrientedLocalGraph, v: VertexId, d: &mut Dispatcher<'_
 }
 
 /// [`run_rank`] plus this rank's per-phase kernel-dispatch tallies.
-pub fn run_rank_stats(
+pub fn run_rank_stats(ctx: &mut Ctx, lg: LocalGraph, cfg: &DistConfig) -> (u64, DispatchReport) {
+    run_rank_cached(ctx, lg, cfg, &mut CacheSession::off())
+}
+
+/// Receive side of the global pass. Wire formats:
+///
+/// * inactive, dedup      — `[v, A(v)...]` (original);
+/// * inactive, non-dedup  — `[v, u, A(v)...]` (original);
+/// * active, dedup        — `[v, 0, A(v)...]` or reference `[v, 1]`;
+/// * active, non-dedup    — `[v, u, 0, A(v)...]` or reference `[v, u, 1]`.
+///
+/// References resolve the oriented list cached from `v`'s owner.
+#[allow(clippy::too_many_arguments)]
+fn global_handler(
+    o: &OrientedLocalGraph,
+    part: &Partition,
+    dedup: bool,
+    ctx: &mut Ctx,
+    env: Envelope<'_>,
+    acc: &mut u64,
+    d: &mut Dispatcher<'_>,
+    session: &mut CacheSession<'_>,
+) {
+    let head_words = if dedup { 1 } else { 2 };
+    let resolved: Vec<u64>;
+    let a: &[u64] = if session.active() {
+        let v = env.payload[0];
+        let owner = part.rank_of(v);
+        if env.payload[head_words] == 1 {
+            resolved = session.recv_ref(owner, ListKind::Oriented, v);
+            &resolved
+        } else {
+            let a = &env.payload[head_words + 1..];
+            session.recv_full(owner, ListKind::Oriented, v, a);
+            a
+        }
+    } else {
+        &env.payload[head_words..]
+    };
+    if dedup {
+        // Intersect with every local head u ∈ A(v).
+        for &u in a {
+            if o.is_owned(u) {
+                let (c, ops) = d.count(a, None, o.a_owned(u), Some(u));
+                *acc += c;
+                ctx.add_work(ops + 1);
+            }
+        }
+    } else {
+        // Intersect with the named edge head only.
+        let u = env.payload[1];
+        debug_assert!(o.is_owned(u));
+        let (c, ops) = d.count(a, None, o.a_owned(u), Some(u));
+        *acc += c;
+        ctx.add_work(ops + 1);
+    }
+}
+
+/// [`run_rank_stats`] with a live adjacency-cache session over the oriented
+/// lists the global pass ships. With an off session this *is* the original
+/// protocol, wire format and meters included.
+pub fn run_rank_cached(
     ctx: &mut Ctx,
     mut lg: LocalGraph,
     cfg: &DistConfig,
+    session: &mut CacheSession<'_>,
 ) -> (u64, DispatchReport) {
     preprocess(ctx, &mut lg, cfg);
     let o = lg.orient(cfg.ordering, false);
@@ -115,31 +179,6 @@ pub fn run_rank_stats(
     let mut remote_count = 0u64;
     let mut gd = Dispatcher::new(policy);
     let dedup = cfg.dedup;
-    let handler = |o: &OrientedLocalGraph,
-                   ctx: &mut Ctx,
-                   env: Envelope<'_>,
-                   acc: &mut u64,
-                   d: &mut Dispatcher<'_>| {
-        if dedup {
-            // payload = [v, A(v)...]: intersect with every local head u
-            let a = &env.payload[1..];
-            for &u in a {
-                if o.is_owned(u) {
-                    let (c, ops) = d.count(a, None, o.a_owned(u), Some(u));
-                    *acc += c;
-                    ctx.add_work(ops + 1);
-                }
-            }
-        } else {
-            // payload = [v, u, A(v)...]: intersect with the named edge head
-            let u = env.payload[1];
-            debug_assert!(o.is_owned(u));
-            let a = &env.payload[2..];
-            let (c, ops) = d.count(a, None, o.a_owned(u), Some(u));
-            *acc += c;
-            ctx.add_work(ops + 1);
-        }
-    };
 
     let mut scratch: Vec<u64> = Vec::new();
     for v in o.owned_range() {
@@ -150,30 +189,54 @@ pub fn run_rank_stats(
                 continue;
             }
             let j = part.rank_of(u);
-            if dedup {
-                if last_rank == Some(j) {
-                    continue;
-                }
-                last_rank = Some(j);
-                scratch.clear();
-                scratch.push(v);
-                scratch.extend_from_slice(av);
-            } else {
-                scratch.clear();
-                scratch.push(v);
+            if dedup && last_rank == Some(j) {
+                continue;
+            }
+            last_rank = Some(j);
+            scratch.clear();
+            scratch.push(v);
+            if !dedup {
                 scratch.push(u);
+            }
+            if session.active() {
+                if session.sender_check(j, ListKind::Oriented, v, av.len() as u64) {
+                    scratch.push(1);
+                } else {
+                    scratch.push(0);
+                    scratch.extend_from_slice(av);
+                }
+            } else {
+                session.sender_check(j, ListKind::Oriented, v, av.len() as u64);
                 scratch.extend_from_slice(av);
             }
             q.post(ctx, j, &scratch);
             // interleaved polling keeps receive buffers drained (the paper:
             // "each PE continuously polls for incoming messages")
             while q.poll(ctx, &mut |ctx, env| {
-                handler(&o, ctx, env, &mut remote_count, &mut gd)
+                global_handler(
+                    &o,
+                    &part,
+                    dedup,
+                    ctx,
+                    env,
+                    &mut remote_count,
+                    &mut gd,
+                    session,
+                )
             }) {}
         }
     }
     q.finish(ctx, &mut |ctx, env| {
-        handler(&o, ctx, env, &mut remote_count, &mut gd)
+        global_handler(
+            &o,
+            &part,
+            dedup,
+            ctx,
+            env,
+            &mut remote_count,
+            &mut gd,
+            session,
+        )
     });
 
     let total = ctx.allreduce_sum(&[local_count + remote_count])[0];

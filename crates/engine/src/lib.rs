@@ -45,13 +45,14 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use tricount_cache::{CacheReport, CacheRunOutcome, CacheSession, RankCache};
 use tricount_comm::{run_guarded, run_sim, CostModel, Counters, Ctx, RunStats, SimOptions};
 use tricount_core::config::{Algorithm, DistConfig};
 use tricount_core::dist::approx::{approx_prepared, ApproxConfig, FilterKind};
 use tricount_core::dist::delta as delta_dist;
 use tricount_core::dist::dispatch::DispatchReport;
 use tricount_core::dist::residency::{build_residency, PreparedRank};
-use tricount_core::dist::support::edge_support_rank_stats;
+use tricount_core::dist::support::edge_support_rank_cached;
 use tricount_core::dist::{baselines, cetric, ditric, lcc, phases};
 use tricount_core::result::DistError;
 use tricount_delta::{Overlay, UpdateBatch};
@@ -119,6 +120,14 @@ impl EngineConfig {
             compaction_fraction: 0.25,
             wall_profile: false,
         }
+    }
+
+    /// Enables the per-PE remote-adjacency cache with the given total word
+    /// budget (split evenly across held partitions, capped by
+    /// `dist.memory_limit_words` when set).
+    pub fn with_cache_budget(mut self, budget_words: u64) -> Self {
+        self.dist.cache = tricount_cache::CacheConfig::with_budget(budget_words);
+        self
     }
 }
 
@@ -216,6 +225,12 @@ struct Metrics {
     /// Per-phase kernel-dispatch tallies over every query and update run,
     /// folded in canonical (phase, rank) order.
     kernel_dispatch: DispatchReport,
+    /// Adjacency-cache session reports folded over query runs (metered —
+    /// adjacency words separated from collective words — even when the
+    /// cache is disabled).
+    query_adjacency: CacheReport,
+    /// Adjacency-cache session reports folded over update runs.
+    update_adjacency: CacheReport,
 }
 
 impl Metrics {
@@ -238,6 +253,10 @@ pub struct Engine {
     /// Per-rank mutable adjacency overlays (update deltas over the
     /// immutable prepared bases). Locked per rank inside update runs.
     overlays: Arc<Vec<Mutex<Overlay>>>,
+    /// Per-PE remote-adjacency caches. Query runs read a shared snapshot
+    /// (their run logs commit here post-tick in job order); update runs
+    /// take the cells exclusively through write sessions.
+    adj_caches: Arc<Vec<RankCache>>,
     degrees: Arc<Vec<u64>>,
     num_vertices: u64,
     epoch: u64,
@@ -295,10 +314,12 @@ impl Engine {
             .map(|r| Mutex::new(Overlay::for_local(&r.local)))
             .collect();
         let pool = Pool::new(cfg.workers.max(1));
+        let adj_caches = Arc::new(Self::fresh_caches(&cfg));
         Engine {
             cfg,
             ranks,
             overlays: Arc::new(overlays),
+            adj_caches,
             degrees: Arc::new(degrees),
             num_vertices: g.num_vertices(),
             epoch: 0,
@@ -319,6 +340,45 @@ impl Engine {
     #[inline]
     fn now_nanos(&self) -> u64 {
         self.born.elapsed().as_nanos() as u64
+    }
+
+    /// Cold per-PE adjacency caches under the configured budget (and the
+    /// §IV-A memory bound, when `dist.memory_limit_words` caps it).
+    fn fresh_caches(cfg: &EngineConfig) -> Vec<RankCache> {
+        (0..cfg.num_ranks)
+            .map(|_| RankCache::new(cfg.dist.cache, cfg.num_ranks, cfg.dist.memory_limit_words))
+            .collect()
+    }
+
+    /// Opens the session a query run uses on rank `rank`: a read session
+    /// over the shared snapshot when the cache is enabled, a metering-only
+    /// session otherwise (so the adjacency/collective comm split is
+    /// observable either way).
+    fn query_session<'c>(caches: &'c [RankCache], enabled: bool, rank: usize) -> CacheSession<'c> {
+        if enabled {
+            CacheSession::read(&caches[rank])
+        } else {
+            CacheSession::metered()
+        }
+    }
+
+    /// Commits one query run's per-rank session logs into the resident
+    /// caches (rank order within the run; runs commit in job order).
+    fn commit_query_outcomes(&mut self, outcomes: Vec<CacheRunOutcome>) {
+        let caches = Arc::make_mut(&mut self.adj_caches);
+        for (rank, o) in outcomes.into_iter().enumerate() {
+            let evicted = caches[rank].commit(&o.log);
+            self.metrics.query_adjacency.absorb(&o.report);
+            self.metrics.query_adjacency.evictions += evicted;
+        }
+    }
+
+    /// Current totals of the per-PE adjacency caches: (held entries,
+    /// resident words).
+    fn adj_cache_usage(&self) -> (u64, u64) {
+        self.adj_caches.iter().fold((0, 0), |(e, w), c| {
+            (e + c.held_entries(), w + c.resident_words())
+        })
     }
 
     /// Number of vertices in the resident graph.
@@ -448,8 +508,19 @@ impl Engine {
         let (task_results, pool_stats) = self
             .pool
             .run_tasks_stats(jobs.clone(), |_, key| self.compute(&key));
-        let computed: Vec<Result<(CachedValue, RunStats, f64, DispatchReport), EngineError>> =
-            task_results.into_iter().map(|tr| tr.result).collect();
+        #[allow(clippy::type_complexity)]
+        let computed: Vec<
+            Result<
+                (
+                    CachedValue,
+                    RunStats,
+                    f64,
+                    DispatchReport,
+                    Vec<CacheRunOutcome>,
+                ),
+                EngineError,
+            >,
+        > = task_results.into_iter().map(|tr| tr.result).collect();
         if self.metrics.pool_workers.len() < pool_stats.workers.len() {
             self.metrics
                 .pool_workers
@@ -469,9 +540,10 @@ impl Engine {
         let cost = self.cfg.timing.unwrap_or_default();
         let mut failures: BTreeMap<QueryKey, EngineError> = BTreeMap::new();
         let mut run_costs: BTreeMap<QueryKey, (f64, f64)> = BTreeMap::new();
+        let mut committed_logs = false;
         for (key, outcome) in jobs.into_iter().zip(computed) {
             match outcome {
-                Ok((value, stats, wall, dispatch)) => {
+                Ok((value, stats, wall, dispatch, cache_outcomes)) => {
                     let modeled = stats.modeled_time(&cost);
                     self.metrics.kernel_dispatch.absorb(&dispatch);
                     self.metrics.absorb_contention(&stats);
@@ -485,11 +557,24 @@ impl Engine {
                     self.metrics.run_modeled.record_seconds(modeled);
                     run_costs.insert(key.clone(), (modeled, wall));
                     self.cache.insert((self.epoch, key), value);
+                    // Admissions observed by this run become visible to the
+                    // next tick's snapshot (never to concurrent jobs of this
+                    // one) — job order makes the state schedule-independent.
+                    committed_logs |= self.cfg.dist.cache.enabled && !cache_outcomes.is_empty();
+                    self.commit_query_outcomes(cache_outcomes);
                 }
                 Err(e) => {
                     failures.insert(key, e);
                 }
             }
+        }
+        if committed_logs {
+            self.metrics.spans.push(EngineSpan {
+                label: "cache_commit",
+                batch: batch_index,
+                begin_nanos: run_end,
+                end_nanos: self.now_nanos(),
+            });
         }
 
         // Answer every ticket from the (now warm) cache. The first ticket
@@ -637,15 +722,65 @@ impl Engine {
         let dist = self.cfg.dist;
         let shared_batch = Arc::new(canonical);
         let batch_ref = shared_batch.clone();
+        // The update run is the adjacency cache's single writer: move the
+        // cells into per-rank mutexes for its duration. Write sessions
+        // emit the coherence records keeping held `Full` entries exact.
+        let enabled = self.cfg.dist.cache.enabled;
+        let cache_cells: Arc<Vec<Mutex<RankCache>>> = {
+            let taken = std::mem::replace(&mut self.adj_caches, Arc::new(Vec::new()));
+            let cells = Arc::try_unwrap(taken).unwrap_or_else(|shared| (*shared).clone());
+            Arc::new(cells.into_iter().map(Mutex::new).collect())
+        };
+        let run_cells = cache_cells.clone();
         let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
             let mut ov = overlays[ctx.rank()].lock().expect("overlay lock");
-            delta_dist::apply_batch_rank(ctx, &ranks[ctx.rank()].local, &mut ov, &batch_ref, &dist)
-        })
-        .map_err(DistError::from)?;
+            let mut cache = run_cells[ctx.rank()].lock().expect("cache cell");
+            let mut session = if enabled {
+                CacheSession::write(&mut cache, ranks[ctx.rank()].generation)
+            } else {
+                CacheSession::metered()
+            };
+            let outcome = delta_dist::apply_batch_rank_cached(
+                ctx,
+                &ranks[ctx.rank()].local,
+                &mut ov,
+                &batch_ref,
+                &dist,
+                &mut session,
+            );
+            let report = if enabled {
+                ctx.with_span("cache_commit", |_| session.finish().report)
+            } else {
+                session.finish().report
+            };
+            (outcome, report)
+        });
+        // Put the cells back before surfacing any error. On success every
+        // rank finished its session, so the cell contents are final — take
+        // them out under the locks (rank threads may outlive the run for a
+        // few microseconds, so sole Arc ownership cannot be assumed). A
+        // watchdog-killed run may have leaked rank threads mid-session; the
+        // only safe option then is to restart cold.
+        self.adj_caches = if out.is_ok() {
+            let hollow = RankCache::new(tricount_cache::CacheConfig::default(), 1, None);
+            Arc::new(
+                cache_cells
+                    .iter()
+                    .map(|m| std::mem::replace(&mut *m.lock().expect("cache cell"), hollow.clone()))
+                    .collect(),
+            )
+        } else {
+            Arc::new(Self::fresh_caches(&self.cfg))
+        };
+        let out = out.map_err(DistError::from)?;
         let wall = started.elapsed().as_secs_f64();
         let stats = out.output.stats;
         self.metrics.absorb_contention(&stats);
-        let outcomes = out.output.results;
+        let (outcomes, cache_reports): (Vec<_>, Vec<CacheReport>) =
+            out.output.results.into_iter().unzip();
+        for r in &cache_reports {
+            self.metrics.update_adjacency.absorb(r);
+        }
 
         // Kernel-dispatch tallies of the counting passes, folded per rank
         // in rank order under the update-count phase.
@@ -737,6 +872,17 @@ impl Engine {
         })
         .map_err(DistError::from)?;
         self.ranks = Arc::new(out.output.results);
+        // Compaction re-orients and re-contracts, so oriented/contracted
+        // cache entries go stale wholesale: the bumped generation tag
+        // flushes them locally (merged `Full` lists survive — coherence
+        // kept them exact through the updates that forced this).
+        if self.cfg.dist.cache.enabled {
+            let generation = self.ranks[0].generation;
+            let caches = Arc::make_mut(&mut self.adj_caches);
+            for c in caches.iter_mut() {
+                c.set_generation(generation);
+            }
+        }
         self.dirty = false;
         self.metrics.compactions += 1;
         self.metrics.absorb_contention(&out.output.stats);
@@ -764,6 +910,7 @@ impl Engine {
 
     /// Snapshots aggregate and per-query serving statistics.
     pub fn stats(&self) -> EngineStats {
+        let (adj_cache_entries, adj_cache_resident_words) = self.adj_cache_usage();
         EngineStats {
             num_ranks: self.cfg.num_ranks,
             transport: self.cfg.dist.transport.name(),
@@ -818,6 +965,11 @@ impl Engine {
             spans: self.metrics.spans.clone(),
             per_query: self.metrics.per_query.clone(),
             kernel_dispatch: self.metrics.kernel_dispatch.clone(),
+            adj_cache_enabled: self.cfg.dist.cache.enabled,
+            query_adjacency: self.metrics.query_adjacency,
+            update_adjacency: self.metrics.update_adjacency,
+            adj_cache_entries,
+            adj_cache_resident_words,
         }
     }
 
@@ -958,6 +1110,73 @@ impl Engine {
                 snapshot.wall_events_dropped,
             );
         }
+        for (path, report) in [
+            ("query", &m.query_adjacency),
+            ("update", &m.update_adjacency),
+        ] {
+            let path_label = [("path", path.to_string())];
+            reg.counter_with(
+                "tricount_cache_lookups_total",
+                "Remote-adjacency cache lookups (sender-side mirror consultations)",
+                &path_label,
+                report.lookups,
+            );
+            reg.counter_with(
+                "tricount_cache_hits_total",
+                "Adjacency shipments replaced by cache references",
+                &path_label,
+                report.hits,
+            );
+            reg.counter_with(
+                "tricount_cache_misses_total",
+                "Adjacency lookups that shipped the full list",
+                &path_label,
+                report.misses,
+            );
+            reg.counter_with(
+                "tricount_cache_words_shipped_total",
+                "Adjacency list words put on the wire",
+                &path_label,
+                report.words_shipped,
+            );
+            reg.counter_with(
+                "tricount_cache_words_saved_total",
+                "Adjacency list words elided by cache references",
+                &path_label,
+                report.words_saved,
+            );
+            reg.counter_with(
+                "tricount_cache_invalidations_total",
+                "Held entries dropped by update coherence",
+                &path_label,
+                report.invalidations,
+            );
+            reg.counter_with(
+                "tricount_cache_patches_total",
+                "Held entries patched in place by update coherence",
+                &path_label,
+                report.patches,
+            );
+            reg.counter_with(
+                "tricount_cache_evictions_total",
+                "Held entries evicted by the word budget",
+                &path_label,
+                report.evictions,
+            );
+        }
+        {
+            let (entries, words) = self.adj_cache_usage();
+            reg.gauge(
+                "tricount_cache_entries",
+                "Held remote-adjacency entries resident across PE caches",
+                entries as f64,
+            );
+            reg.gauge(
+                "tricount_cache_resident_words",
+                "Words held remote-adjacency entries occupy",
+                words as f64,
+            );
+        }
         for (phase, counters) in &m.kernel_dispatch.phases {
             for (kernel, n) in counters.named() {
                 reg.counter_with(
@@ -1030,11 +1249,23 @@ impl Engine {
 
     /// Executes one cache key as a guarded distributed run against the
     /// resident state. Returns the value, the run's statistics, its wall
-    /// time, and the per-rank kernel-dispatch tallies folded in rank order.
+    /// time, the per-rank kernel-dispatch tallies folded in rank order, and
+    /// the per-rank adjacency-cache run outcomes (logs awaiting the
+    /// post-tick commit, plus metering).
+    #[allow(clippy::type_complexity)]
     fn compute(
         &self,
         key: &QueryKey,
-    ) -> Result<(CachedValue, RunStats, f64, DispatchReport), EngineError> {
+    ) -> Result<
+        (
+            CachedValue,
+            RunStats,
+            f64,
+            DispatchReport,
+            Vec<CacheRunOutcome>,
+        ),
+        EngineError,
+    > {
         let p = self.cfg.num_ranks;
         let opts = SimOptions {
             transport: self.cfg.dist.transport,
@@ -1044,70 +1275,105 @@ impl Engine {
             wall_profile: self.cfg.wall_profile,
             ..SimOptions::default()
         };
+        let enabled = self.cfg.dist.cache.enabled;
+        let caches = self.adj_caches.clone();
         let started = Instant::now();
         match key {
             QueryKey::Global(idx) => {
                 let alg = Algorithm::all()[*idx as usize];
                 // Global queries run under the variant's own configuration,
-                // but the serving-side kernel policy is the engine's.
+                // but the serving-side kernel policy and cache knobs are the
+                // engine's.
                 let mut cfg = alg.config();
                 cfg.kernels = self.cfg.dist.kernels;
+                cfg.cache = self.cfg.dist.cache;
                 let ranks = self.ranks.clone();
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
-                    exec_global(ctx, &ranks[ctx.rank()], alg, &cfg)
+                    let mut session = Self::query_session(&caches, enabled, ctx.rank());
+                    let r = exec_global(ctx, &ranks[ctx.rank()], alg, &cfg, &mut session);
+                    r.map(|v| (v, session.finish()))
                 })
                 .map_err(DistError::from)?;
                 let wall = started.elapsed().as_secs_f64();
                 let mut count = 0u64;
                 let mut report = DispatchReport::new();
+                let mut outcomes = Vec::with_capacity(p);
                 for (i, r) in out.output.results.into_iter().enumerate() {
-                    let (c, d) = r.map_err(EngineError::Dist)?;
+                    let ((c, d), o) = r.map_err(EngineError::Dist)?;
                     if i == 0 {
                         count = c;
                     }
                     report.absorb(&d);
+                    outcomes.push(o);
                 }
-                Ok((CachedValue::Count(count), out.output.stats, wall, report))
+                Ok((
+                    CachedValue::Count(count),
+                    out.output.stats,
+                    wall,
+                    report,
+                    outcomes,
+                ))
             }
             QueryKey::LccFull => {
                 let ranks = self.ranks.clone();
                 let cfg = self.cfg.dist;
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
-                    lcc::lcc_prepared_stats(ctx, &ranks[ctx.rank()], &cfg)
+                    let mut session = Self::query_session(&caches, enabled, ctx.rank());
+                    let r = lcc::lcc_prepared_cached(ctx, &ranks[ctx.rank()], &cfg, &mut session);
+                    (r, session.finish())
                 })
                 .map_err(DistError::from)?;
                 let wall = started.elapsed().as_secs_f64();
                 let mut per_vertex = Vec::with_capacity(self.degrees.len());
                 let mut report = DispatchReport::new();
-                for (owned, d) in out.output.results {
+                let mut outcomes = Vec::with_capacity(p);
+                for ((owned, d), o) in out.output.results {
                     per_vertex.extend(owned);
                     report.absorb(&d);
+                    outcomes.push(o);
                 }
                 let full = lcc::normalize_lcc(&per_vertex, &self.degrees);
-                Ok((CachedValue::LccFull(full), out.output.stats, wall, report))
+                Ok((
+                    CachedValue::LccFull(full),
+                    out.output.stats,
+                    wall,
+                    report,
+                    outcomes,
+                ))
             }
             QueryKey::Support(edges) => {
                 let ranks = self.ranks.clone();
                 let cfg = self.cfg.dist;
                 let edges = Arc::new(edges.clone());
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
-                    edge_support_rank_stats(ctx, &ranks[ctx.rank()].local, &edges, &cfg)
+                    let mut session = Self::query_session(&caches, enabled, ctx.rank());
+                    let r = edge_support_rank_cached(
+                        ctx,
+                        &ranks[ctx.rank()].local,
+                        &edges,
+                        &cfg,
+                        &mut session,
+                    );
+                    (r, session.finish())
                 })
                 .map_err(DistError::from)?;
                 let wall = started.elapsed().as_secs_f64();
                 let mut support = Vec::new();
                 let mut report = DispatchReport::new();
-                for (i, (s, d)) in out.output.results.into_iter().enumerate() {
+                let mut outcomes = Vec::with_capacity(p);
+                for (i, ((s, d), o)) in out.output.results.into_iter().enumerate() {
                     if i == 0 {
                         support = s;
                     }
                     report.absorb(&d);
+                    outcomes.push(o);
                 }
                 Ok((
                     CachedValue::Support(support),
                     out.output.stats,
                     wall,
                     report,
+                    outcomes,
                 ))
             }
             QueryKey::Approx(bits) => {
@@ -1135,6 +1401,9 @@ impl Engine {
                     out.output.stats,
                     wall,
                     DispatchReport::new(),
+                    // The sketch exchange ships filters, not adjacency
+                    // lists — nothing for the cache.
+                    Vec::new(),
                 ))
             }
         }
@@ -1152,12 +1421,15 @@ fn exec_global(
     prep: &PreparedRank,
     alg: Algorithm,
     cfg: &DistConfig,
+    session: &mut CacheSession<'_>,
 ) -> Result<(u64, DispatchReport), DistError> {
     match alg {
-        Algorithm::Cetric | Algorithm::Cetric2 => Ok(cetric::count_prepared_stats(ctx, prep, cfg)),
-        Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => {
-            Ok(ditric::run_rank_stats(ctx, prep.local.clone(), cfg))
+        Algorithm::Cetric | Algorithm::Cetric2 => {
+            Ok(cetric::count_prepared_cached(ctx, prep, cfg, session))
         }
+        Algorithm::Unaggregated | Algorithm::Ditric | Algorithm::Ditric2 => Ok(
+            ditric::run_rank_cached(ctx, prep.local.clone(), cfg, session),
+        ),
         Algorithm::TricLike => baselines::tric_like_rank(ctx, prep.local.clone(), cfg)
             .map(|c| (c, DispatchReport::new())),
         Algorithm::HavoqgtLike => Ok((

@@ -1,6 +1,7 @@
 //! Engine observability: per-query records and aggregate serving
 //! statistics, serialisable to JSON without any external dependency.
 
+use tricount_cache::CacheReport;
 use tricount_comm::Counters;
 use tricount_core::dist::dispatch::DispatchReport;
 use tricount_obs::Summary;
@@ -25,13 +26,14 @@ pub struct QueryRecord {
     pub failed: bool,
 }
 
-/// One engine lifecycle span: a tick stage (`admit` → `run` → `answer`,
-/// under an enclosing `batch`) or a graph-mutation stage (`update`,
-/// `compaction`), in wall nanoseconds since the engine was built.
+/// One engine lifecycle span: a tick stage (`admit` → `run` → `answer` →
+/// `cache_commit`, under an enclosing `batch`) or a graph-mutation stage
+/// (`update`, `compaction`), in wall nanoseconds since the engine was
+/// built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineSpan {
-    /// Stage label: "batch", "admit", "run", "answer", "update" or
-    /// "compaction".
+    /// Stage label: "batch", "admit", "run", "answer", "cache_commit",
+    /// "update" or "compaction".
     pub label: &'static str,
     /// Tick index the span belongs to (0-based).
     pub batch: u64,
@@ -135,6 +137,20 @@ pub struct EngineStats {
     /// Kernel-dispatch tallies per counting phase, over every query and
     /// update run since the engine was built.
     pub kernel_dispatch: DispatchReport,
+    /// Whether the remote-adjacency cache is enabled.
+    pub adj_cache_enabled: bool,
+    /// Adjacency-cache meters folded over every query run. With the cache
+    /// disabled only `words_shipped` moves — the adjacency side of the
+    /// comm split (`query_comm` words minus these are headers, answers and
+    /// collectives).
+    pub query_adjacency: CacheReport,
+    /// Adjacency-cache meters folded over every update run (coherence
+    /// invalidations/patches land here — updates are the single writer).
+    pub update_adjacency: CacheReport,
+    /// Held adjacency entries resident across the PE caches right now.
+    pub adj_cache_entries: u64,
+    /// Words those held entries occupy.
+    pub adj_cache_resident_words: u64,
 }
 
 impl EngineStats {
@@ -144,6 +160,16 @@ impl EngineStats {
             0.0
         } else {
             self.cache_hits as f64 / self.answered as f64
+        }
+    }
+
+    /// Fraction of remote-adjacency lookups in query runs served from the
+    /// cache (0 when none were made).
+    pub fn adj_cache_hit_rate(&self) -> f64 {
+        if self.query_adjacency.lookups == 0 {
+            0.0
+        } else {
+            self.query_adjacency.hits as f64 / self.query_adjacency.lookups as f64
         }
     }
 
@@ -248,6 +274,36 @@ impl EngineStats {
             "kernel_dispatch",
             &dispatch_json(&self.kernel_dispatch),
         );
+        push_field(
+            &mut s,
+            "adj_cache_enabled",
+            &self.adj_cache_enabled.to_string(),
+        );
+        push_field(
+            &mut s,
+            "adj_cache_hit_rate",
+            &json_f64(self.adj_cache_hit_rate()),
+        );
+        push_field(
+            &mut s,
+            "query_adjacency",
+            &cache_report_json(&self.query_adjacency),
+        );
+        push_field(
+            &mut s,
+            "update_adjacency",
+            &cache_report_json(&self.update_adjacency),
+        );
+        push_field(
+            &mut s,
+            "adj_cache_entries",
+            &self.adj_cache_entries.to_string(),
+        );
+        push_field(
+            &mut s,
+            "adj_cache_resident_words",
+            &self.adj_cache_resident_words.to_string(),
+        );
         let records: Vec<String> = self.per_query.iter().map(record_json).collect();
         s.push_str("\"per_query\":[");
         s.push_str(&records.join(","));
@@ -297,6 +353,24 @@ pub fn dispatch_json(r: &DispatchReport) -> String {
         })
         .collect();
     format!("{{{}}}", phases.join(","))
+}
+
+/// Serialises a [`CacheReport`] as a JSON object — the adjacency side of
+/// the comm split: words the protocols shipped as adjacency lists vs words
+/// the cache turned into references.
+pub fn cache_report_json(r: &CacheReport) -> String {
+    format!(
+        "{{\"lookups\":{},\"hits\":{},\"misses\":{},\"adjacency_words_shipped\":{},\"adjacency_words_saved\":{},\"invalidations\":{},\"patches\":{},\"evictions\":{},\"staged\":{}}}",
+        r.lookups,
+        r.hits,
+        r.misses,
+        r.words_shipped,
+        r.words_saved,
+        r.invalidations,
+        r.patches,
+        r.evictions,
+        r.staged
+    )
 }
 
 /// Serialises the interesting [`Counters`] fields as a JSON object.
@@ -409,10 +483,29 @@ mod tests {
                     bitmap: 0,
                 },
             ),
+            adj_cache_enabled: true,
+            query_adjacency: CacheReport {
+                lookups: 4,
+                hits: 3,
+                misses: 1,
+                words_shipped: 10,
+                words_saved: 30,
+                invalidations: 0,
+                patches: 0,
+                evictions: 0,
+                staged: 1,
+            },
+            update_adjacency: CacheReport::default(),
+            adj_cache_entries: 1,
+            adj_cache_resident_words: 10,
         };
         let j = stats.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"cache_hit_rate\":0.5"));
+        assert!(j.contains("\"adj_cache_enabled\":true"));
+        assert!(j.contains("\"adj_cache_hit_rate\":0.75"));
+        assert!(j.contains("\"query_adjacency\":{\"lookups\":4,\"hits\":3,\"misses\":1,\"adjacency_words_shipped\":10,\"adjacency_words_saved\":30"));
+        assert!(j.contains("\"adj_cache_resident_words\":10"));
         assert!(j.contains("\"transport\":\"sim\""));
         assert!(j.contains(
             "\"kernel_dispatch\":{\"local\":{\"merge\":3,\"gallop\":2,\"binary\":1,\"bitmap\":0}}"

@@ -1,0 +1,292 @@
+//! Engine-level acceptance for the remote-adjacency cache: warm-graph
+//! words-saved (the ≥ 90 % bar from the roadmap), a mutation test proving
+//! the coherence protocol is load-bearing (disable it and cached answers
+//! go stale), a proptest interleaving random update batches with cached
+//! queries at 1, 4 and 9 PEs, and the stats / Prometheus / span surface.
+
+use proptest::prelude::*;
+use tricount_core::config::Algorithm;
+use tricount_delta::{apply_to_csr, UpdateBatch};
+use tricount_engine::{Engine, EngineConfig, Query, QueryAnswer};
+use tricount_graph::intersect::merge_count;
+use tricount_graph::partition::Partition;
+use tricount_graph::Csr;
+
+const BUDGET: u64 = 1 << 22;
+
+fn cached_engine(g: &Csr, p: usize) -> Engine {
+    Engine::build(g, EngineConfig::new(p).with_cache_budget(BUDGET))
+}
+
+fn global(alg: Algorithm) -> Query {
+    Query::GlobalTriangles { algorithm: alg }
+}
+
+fn triangles(e: &mut Engine, q: Query) -> u64 {
+    match e.query(q).expect("query executes") {
+        QueryAnswer::Count(t) => t,
+        other => panic!("expected Count, got {other:?}"),
+    }
+}
+
+fn support(e: &mut Engine, edges: Vec<(u64, u64)>) -> Vec<u64> {
+    match e
+        .query(Query::EdgeSupport { edges })
+        .expect("query executes")
+    {
+        QueryAnswer::Support(pairs) => pairs.into_iter().map(|(_, s)| s).collect(),
+        other => panic!("expected Support, got {other:?}"),
+    }
+}
+
+/// Warm-graph repeated-query workload: the second run of the same global
+/// query over an unchanged graph resolves every remote adjacency from the
+/// cache — at least 90 % of the adjacency words the cold run shipped are
+/// saved (here: all of them), and the stats / Prometheus / span surfaces
+/// reflect it.
+#[test]
+fn warm_repeat_saves_at_least_ninety_percent_of_adjacency_words() {
+    let g = tricount_gen::rgg2d_default(256, 5);
+    let mut e = cached_engine(&g, 4);
+    let t1 = triangles(&mut e, global(Algorithm::Cetric));
+    let cold = e.stats();
+    assert!(cold.adj_cache_enabled);
+    let cold_shipped = cold.query_adjacency.words_shipped;
+    assert!(cold_shipped > 0, "cold run ships remote adjacency words");
+    assert_eq!(cold.query_adjacency.hits, 0, "nothing to hit yet");
+    assert!(
+        cold.query_adjacency.staged > 0,
+        "cold run populates the cache"
+    );
+    assert!(cold.adj_cache_entries > 0);
+    assert!(cold.adj_cache_resident_words > 0);
+
+    // Invalidate the epoch-keyed *result* cache without touching the
+    // adjacency cache, so the same query re-executes against a warm cache.
+    e.advance_epoch();
+    let t2 = triangles(&mut e, global(Algorithm::Cetric));
+    assert_eq!(t1, t2, "cached run is bit-identical");
+
+    let warm = e.stats();
+    let saved = warm.query_adjacency.words_saved - cold.query_adjacency.words_saved;
+    let shipped = warm.query_adjacency.words_shipped - cold_shipped;
+    assert_eq!(
+        warm.query_adjacency.misses, cold.query_adjacency.misses,
+        "warm run misses nothing"
+    );
+    assert!(warm.query_adjacency.hits > 0, "warm run hits the cache");
+    assert!(saved > 0);
+    assert!(
+        saved * 10 >= 9 * (saved + shipped),
+        "warm run saves >= 90% of adjacency words (saved {saved}, shipped {shipped})"
+    );
+    assert!(warm.adj_cache_hit_rate() > 0.0);
+
+    // Observability: commit spans and Prometheus counters are live.
+    assert!(
+        warm.spans.iter().any(|s| s.label == "cache_commit"),
+        "cache-enabled ticks record a cache_commit span"
+    );
+    let text = e.prometheus();
+    for needle in [
+        "tricount_cache_lookups_total",
+        "tricount_cache_hits_total",
+        "tricount_cache_words_saved_total",
+        "tricount_cache_entries",
+        "tricount_cache_resident_words",
+    ] {
+        assert!(text.contains(needle), "prometheus exposes {needle}");
+    }
+}
+
+/// With the cache disabled the engine still meters adjacency
+/// request/response words separately from collectives (the comm-split in
+/// the stats JSON), but holds no cache state and records no spans.
+#[test]
+fn disabled_cache_meters_adjacency_words_without_state() {
+    let g = tricount_gen::rgg2d_default(256, 5);
+    let mut e = Engine::build(&g, EngineConfig::new(4));
+    let _ = triangles(&mut e, global(Algorithm::Cetric));
+    let s = e.stats();
+    assert!(!s.adj_cache_enabled);
+    assert!(
+        s.query_adjacency.words_shipped > 0,
+        "adjacency words are metered even without a cache"
+    );
+    assert_eq!(s.query_adjacency.hits, 0);
+    assert_eq!(s.query_adjacency.staged, 0);
+    assert_eq!(s.adj_cache_entries, 0);
+    assert_eq!(s.adj_cache_resident_words, 0);
+    assert!(!s.spans.iter().any(|sp| sp.label == "cache_commit"));
+    let json = s.to_json();
+    assert!(json.contains("\"adj_cache_enabled\":false"));
+    assert!(json.contains("\"adjacency_words_shipped\""));
+}
+
+/// Finds a mutation fixture in `g` partitioned over `p` ranks: a query
+/// edge `(a, b)` whose endpoints live on different ranks plus a vertex
+/// `x ∈ N(b) \ (N(a) ∪ {a})`, so inserting `(a, x)` raises the support of
+/// `(a, b)` by exactly one — visible only if the cached copy of `N(a)` at
+/// `b`'s owner is patched.
+fn stale_fixture(g: &Csr, p: usize) -> (u64, u64, u64) {
+    let part = Partition::balanced_vertices(g.num_vertices(), p);
+    for a in 0..g.num_vertices() {
+        let na = g.neighbors(a);
+        for b in 0..g.num_vertices() {
+            if part.rank_of(a) == part.rank_of(b) || a == b {
+                continue;
+            }
+            for &x in g.neighbors(b) {
+                if x != a && x != b && !na.contains(&x) {
+                    return (a, b, x);
+                }
+            }
+        }
+    }
+    panic!("no stale-coherence fixture in this graph");
+}
+
+/// Mutation test: knock out the coherence protocol
+/// (`cache.coherence = false`) and the cached support answer goes stale
+/// after an update — exactly the divergence the equivalence harness is
+/// built to catch. With coherence on, the same sequence stays bit-equal
+/// to a freshly built engine and to the sequential intersection.
+#[test]
+fn disabling_coherence_is_caught_as_stale_answer_divergence() {
+    let g = tricount_gen::rgg2d_default(200, 11);
+    let p = 4;
+    let (a, b, x) = stale_fixture(&g, p);
+    let s0 = merge_count(g.neighbors(a), g.neighbors(b)).0;
+
+    let mut batch = UpdateBatch::new();
+    batch.insert(a, x);
+    let edited = apply_to_csr(&g, &batch.canonicalize());
+    let truth = merge_count(edited.neighbors(a), edited.neighbors(b)).0;
+    assert_eq!(truth, s0 + 1, "fixture: x becomes a common neighbor");
+
+    // Coherent engine: the warm cached entry is patched in update_route
+    // and the re-query matches the fresh rebuild.
+    let mut coherent = cached_engine(&g, p);
+    assert_eq!(support(&mut coherent, vec![(a, b)]), vec![s0]);
+    coherent.apply_updates(&batch).expect("valid batch");
+    assert_eq!(
+        support(&mut coherent, vec![(a, b)]),
+        vec![truth],
+        "coherence keeps the cached N(a) fresh"
+    );
+    let stats = coherent.stats();
+    assert!(
+        stats.update_adjacency.patches > 0 || stats.update_adjacency.invalidations > 0,
+        "the update route exercised the coherence path"
+    );
+    assert_eq!(
+        Engine::build(&edited, EngineConfig::new(p)).resident_triangles(),
+        coherent.resident_triangles(),
+        "coherent engine tracks the rebuilt count"
+    );
+
+    // Mutated engine: same sequence, coherence disabled. The warm entry
+    // for N(a) at b's owner survives the update un-patched, so the
+    // re-query returns the stale pre-insert support — the divergence the
+    // verify harness flags.
+    let mut cfg = EngineConfig::new(p).with_cache_budget(BUDGET);
+    cfg.dist.cache.coherence = false;
+    let mut mutated = Engine::build(&g, cfg);
+    assert_eq!(support(&mut mutated, vec![(a, b)]), vec![s0]);
+    mutated.apply_updates(&batch).expect("valid batch");
+    let stale = support(&mut mutated, vec![(a, b)]);
+    assert_eq!(
+        stale,
+        vec![s0],
+        "without coherence the cached list is stale"
+    );
+    assert_ne!(stale, vec![truth], "stale-count divergence is observable");
+    let stats = mutated.stats();
+    assert_eq!(stats.update_adjacency.patches, 0);
+    assert_eq!(stats.update_adjacency.invalidations, 0);
+}
+
+/// Clamps `batch` into the vertex range `[0, n)`.
+fn clamp(batch: &UpdateBatch, n: u64) -> UpdateBatch {
+    let mut out = UpdateBatch::new();
+    for op in &batch.ops {
+        let (u, v) = op.endpoints();
+        if u < n && v < n {
+            if op.is_insert() {
+                out.insert(u, v);
+            } else {
+                out.delete(u, v);
+            }
+        }
+    }
+    out
+}
+
+fn arb_batch(n: u64) -> impl Strategy<Value = UpdateBatch> {
+    proptest::collection::vec((0u64..2, 0..n, 0..n), 0..24).prop_map(|ops| {
+        let mut b = UpdateBatch::new();
+        for (ins, u, v) in ops {
+            if ins == 1 {
+                b.insert(u, v);
+            } else {
+                b.delete(u, v);
+            }
+        }
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Interleaving random update batches with cached queries at 1, 4 and
+    /// 9 PEs: a cache-enabled engine answers every global and support
+    /// query identically to a cache-free engine driven through the same
+    /// sequence, and both track the same resident count.
+    #[test]
+    fn interleaved_updates_and_cached_queries_match_uncached(
+        n in 12u64..32,
+        edge_factor in 1u64..4,
+        seed in 0u64..1000,
+        b1 in (12u64..32).prop_flat_map(arb_batch),
+        b2 in (12u64..32).prop_flat_map(arb_batch),
+    ) {
+        let g = tricount_gen::gnm(n, n * edge_factor, seed);
+        let edges: Vec<(u64, u64)> = vec![(0, n / 2), (1, n - 1), (n / 3, n / 2 + 1)];
+        for p in [1usize, 4, 9] {
+            let mut cached = cached_engine(&g, p);
+            let mut plain = Engine::build(&g, EngineConfig::new(p));
+            for batch in [&b1, &b2] {
+                let clamped = clamp(batch, n);
+                prop_assert_eq!(
+                    triangles(&mut cached, global(Algorithm::Cetric)),
+                    triangles(&mut plain, global(Algorithm::Cetric)),
+                    "global pre-update, p {}", p
+                );
+                prop_assert_eq!(
+                    support(&mut cached, edges.clone()),
+                    support(&mut plain, edges.clone()),
+                    "support pre-update, p {}", p
+                );
+                let rc = cached.apply_updates(&clamped).expect("in-range batch");
+                let rp = plain.apply_updates(&clamped).expect("in-range batch");
+                prop_assert_eq!(rc.triangles_after, rp.triangles_after, "receipt, p {}", p);
+                prop_assert_eq!(
+                    cached.resident_triangles(),
+                    plain.resident_triangles(),
+                    "resident count, p {}", p
+                );
+                prop_assert_eq!(
+                    triangles(&mut cached, global(Algorithm::Ditric)),
+                    triangles(&mut plain, global(Algorithm::Ditric)),
+                    "global post-update, p {}", p
+                );
+                prop_assert_eq!(
+                    support(&mut cached, edges.clone()),
+                    support(&mut plain, edges.clone()),
+                    "support post-update, p {}", p
+                );
+            }
+        }
+    }
+}
