@@ -52,7 +52,7 @@ fn main() {
             });
         };
 
-    let mut engine = Engine::build(&g, EngineConfig::new(p).with_cache_budget(budget));
+    let engine = Engine::build(&g, EngineConfig::new(p).with_cache_budget(budget));
     let qs = workload(n);
 
     // cold pass: empty cache, every remote adjacency list ships

@@ -31,7 +31,7 @@ fn main() {
         };
 
     let t0 = Instant::now();
-    let mut engine = Engine::build(&g, EngineConfig::new(p));
+    let engine = Engine::build(&g, EngineConfig::new(p));
     let build = t0.elapsed().as_secs_f64();
     let build_words = {
         let s = engine.setup_stats().totals();

@@ -30,7 +30,7 @@ fn main() {
 
     // one-time setup: partition, orient, ghost exchange, contraction
     let t0 = Instant::now();
-    let mut engine = Engine::build(&g, EngineConfig::new(p));
+    let engine = Engine::build(&g, EngineConfig::new(p));
     let build = t0.elapsed().as_secs_f64();
     push(
         &mut rows,

@@ -114,6 +114,14 @@ pub enum Command {
         transport: TransportKind,
         /// Remote-adjacency cache budget in words (`None` = cache off).
         cache_budget: Option<u64>,
+        /// Serve this many tenants behind one `EngineHost` (1 = plain
+        /// single-engine serving).
+        tenants: usize,
+        /// Interleave this many random update batches with the reads
+        /// (host mode only).
+        updates: usize,
+        /// Background serve-loop workers in host mode.
+        host_workers: usize,
     },
     /// Load the graph into a resident engine and stream batched edge
     /// updates through the incremental triangle-maintenance path.
@@ -436,6 +444,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             metrics_out: get("metrics-out").map(|v| v.to_string()),
             transport: parse_transport(get("transport"))?,
             cache_budget: parse_opt_u64("cache-budget")?,
+            tenants: (parse_u64("tenants", 1)? as usize).max(1),
+            updates: parse_u64("updates", 0)? as usize,
+            host_workers: (parse_u64("host-workers", 2)? as usize).max(1),
         }),
         "update" => Ok(Command::Update {
             source,
@@ -506,6 +517,7 @@ fn usage() -> String {
      [--kernel auto|merge|gallop|binary|bitmap] [--pool-workers N] \
      [--top K] [--limit K] \
      [--queries Q] [--workload-seed S] [--batch UPDATES.txt] [--json 1] \
+     [--tenants N] [--updates U] [--host-workers W] \
      [--lint-root DIR] \
      [-o OUT] [--chrome-trace OUT.json] [--phase-report 1] \
      [--metrics-out OUT.prom] [--calibration PROBE.json] [--cache-budget WORDS]\n\
@@ -734,7 +746,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 ecfg = ecfg.with_cache_budget(budget);
             }
             ecfg.dist.transport = transport;
-            let mut engine = Engine::build(&g, ecfg);
+            let engine = Engine::build(&g, ecfg);
             println!(
                 "resident count before updates: {} (epoch {})",
                 engine.resident_triangles(),
@@ -918,6 +930,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             metrics_out,
             transport,
             cache_budget,
+            tenants,
+            updates,
+            host_workers,
         } => {
             use tricount_engine::{scripted_workload, Engine, EngineConfig};
             let g = load_source(&source)?;
@@ -926,7 +941,20 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 ecfg = ecfg.with_cache_budget(budget);
             }
             ecfg.dist.transport = transport;
-            let mut engine = Engine::build(&g, ecfg);
+            if tenants > 1 || updates > 0 {
+                return serve_host(
+                    &g,
+                    ecfg,
+                    queries,
+                    seed,
+                    json,
+                    metrics_out,
+                    tenants,
+                    updates,
+                    host_workers,
+                );
+            }
+            let engine = Engine::build(&g, ecfg);
             let workload = scripted_workload(queries, g.num_vertices(), seed);
             let mut answered = 0usize;
             let mut failed = 0usize;
@@ -999,6 +1027,137 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 println!("wrote {path}");
             }
         }
+    }
+    Ok(())
+}
+
+/// Host-mode serving: the scripted workload round-robins across `tenants`
+/// resident engines behind one `EngineHost`, with `updates` random edge
+/// batches interleaved, all drained by a background serve loop.
+#[allow(clippy::too_many_arguments)]
+fn serve_host(
+    g: &Csr,
+    ecfg: tricount_engine::EngineConfig,
+    queries: usize,
+    seed: u64,
+    json: bool,
+    metrics_out: Option<String>,
+    tenants: usize,
+    updates: usize,
+    host_workers: usize,
+) -> Result<(), String> {
+    use tricount_delta::random_batch;
+    use tricount_engine::{
+        scripted_workload, EngineHost, HostConfig, HostError, HostReply, HostRequest,
+    };
+    let mut hcfg = HostConfig::new();
+    hcfg.pool_workers = ecfg.workers;
+    hcfg.serve_workers = host_workers;
+    hcfg.tenant_quota = hcfg.tenant_quota.max(queries / tenants.max(1) + 1);
+    hcfg.global_inflight = hcfg.global_inflight.max(queries + tenants);
+    let host = EngineHost::new(hcfg);
+    let names: Vec<String> = (0..tenants).map(|i| format!("t{i}")).collect();
+    for name in &names {
+        host.add_tenant(name, g, ecfg.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    let workload = scripted_workload(queries, g.num_vertices(), seed);
+    let stride = (queries / updates.max(1)).max(1);
+    let handle = host.serve();
+    let mut sent_updates = 0usize;
+    for (i, q) in workload.into_iter().enumerate() {
+        if updates > 0 && i % stride == 0 && sent_updates < updates {
+            host.submit(HostRequest::Update {
+                tenant: names[sent_updates % tenants].clone(),
+                batch: random_batch(g, 16, seed ^ (0x9e37 + sent_updates as u64)),
+            })
+            .map_err(|e| e.to_string())?;
+            sent_updates += 1;
+        }
+        loop {
+            match host.submit(HostRequest::Query {
+                tenant: names[i % tenants].clone(),
+                query: q.clone(),
+            }) {
+                Ok(_) => break,
+                // closed loop: drain under backpressure, resubmit
+                Err(HostError::Overloaded { .. }) => {
+                    host.drain();
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    handle.stop();
+    host.drain();
+    let mut answers = 0usize;
+    let mut receipts = 0usize;
+    let mut failed = 0usize;
+    for reply in host.poll() {
+        match reply {
+            HostReply::Answer { result, .. } => {
+                answers += 1;
+                failed += usize::from(result.is_err());
+            }
+            HostReply::Receipt { result, .. } => {
+                receipts += 1;
+                failed += usize::from(result.is_err());
+            }
+        }
+    }
+    let s = host.stats();
+    if json {
+        let per_tenant: Vec<String> = s
+            .per_tenant
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"submitted\":{},\"rejected\":{},\"answered\":{},\
+                     \"updates\":{},\"epoch\":{},\"epochs_live\":{},\"readers_pinned\":{},\
+                     \"resident_triangles\":{}}}",
+                    t.tenant,
+                    t.submitted,
+                    t.rejected,
+                    t.answered,
+                    t.updates,
+                    t.epoch,
+                    t.epochs_live,
+                    t.readers_pinned,
+                    t.resident_triangles
+                )
+            })
+            .collect();
+        println!(
+            "{{\"tenants\":{},\"answers\":{answers},\"receipts\":{receipts},\"failed\":{failed},\
+             \"per_tenant\":[{}]}}",
+            s.tenants,
+            per_tenant.join(",")
+        );
+    } else {
+        println!(
+            "host served {answers} answers across {} tenant(s) \
+             ({receipts} update receipts, {failed} failed)",
+            s.tenants
+        );
+        for t in &s.per_tenant {
+            println!(
+                "tenant {}: {} submitted, {} answered, {} rejected, {} updates | \
+                 epoch {} ({} live, {} pinned readers) | {} resident triangles",
+                t.tenant,
+                t.submitted,
+                t.answered,
+                t.rejected,
+                t.updates,
+                t.epoch,
+                t.epochs_live,
+                t.readers_pinned,
+                t.resident_triangles
+            );
+        }
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, host.prometheus()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
     }
     Ok(())
 }
@@ -1419,6 +1578,44 @@ mod tests {
             None
         );
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn parse_and_execute_serve_host_mode() {
+        let cmd = parse(&args(
+            "serve --family rgg2d --n 160 --p 2 --queries 12 --tenants 2 --updates 2 \
+             --host-workers 2",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::Serve {
+                tenants,
+                updates,
+                host_workers,
+                ..
+            } => {
+                assert_eq!(*tenants, 2);
+                assert_eq!(*updates, 2);
+                assert_eq!(*host_workers, 2);
+            }
+            _ => panic!("wrong command"),
+        }
+        execute(cmd).unwrap();
+
+        // host-mode exposition carries per-tenant labels
+        let dir = std::env::temp_dir();
+        let path = dir.join("tricount_cli_serve_host.prom");
+        let cmd = parse(&args(&format!(
+            "serve --family rgg2d --n 160 --p 2 --queries 8 --tenants 2 --updates 1 \
+             --json 1 --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        execute(cmd).unwrap();
+        let prom = std::fs::read_to_string(&path).unwrap();
+        assert!(prom.contains("tricount_host_submitted_total{tenant=\"t0\"}"));
+        assert!(prom.contains("tricount_host_tenant_epochs_live"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! MVCC epoch snapshots and their lifecycle.
+//!
+//! Every committed graph state is an immutable [`EpochSnapshot`]: the
+//! prepared per-rank bases (CSR + orientation + contraction + hub
+//! indexes), the frozen update overlays on top of them, the degree
+//! vector and the resident triangle count. Queries *pin* the snapshot
+//! they were admitted on and run against it to completion, no matter how
+//! many update batches commit in the meantime — reads never block on
+//! writes, and never observe a mid-batch state.
+//!
+//! The [`EpochTable`] tracks the live snapshots with a reader count per
+//! epoch. A superseded epoch is retired — dropped from the table, its
+//! lifetime recorded — the moment its last reader drains; the current
+//! epoch is never retired. Compaction only ever *builds new* prepared
+//! state (for the next epoch, or memoized inside a snapshot by
+//! [`EpochSnapshot::seal`]); it never mutates a published snapshot, so
+//! folding is automatically restricted to state no pinned reader can
+//! still observe.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tricount_core::dist::residency::PreparedRank;
+use tricount_delta::Overlay;
+use tricount_obs::{LogHistogram, Summary};
+
+use crate::query::EngineError;
+
+/// One immutable committed graph state.
+pub(crate) struct EpochSnapshot {
+    /// The epoch this snapshot was published as.
+    pub epoch: u64,
+    /// Per-rank prepared bases (shared with older epochs until a
+    /// compaction rebuilds them).
+    pub ranks: Arc<Vec<PreparedRank>>,
+    /// Frozen per-rank overlays holding the deltas not folded into
+    /// `ranks`. Never mutated after publication.
+    pub overlay: Arc<Vec<Overlay>>,
+    /// Degree vector of the snapshot's graph.
+    pub degrees: Arc<Vec<u64>>,
+    /// Exact global triangle count of the snapshot's graph.
+    pub triangles: u64,
+    /// Summed overlay entries across ranks (0 = clean: `ranks` alone
+    /// serves this epoch).
+    pub overlay_entries: u64,
+    /// Memoized sealed state: `ranks` with `overlay` folded in, built
+    /// lazily by the first query that needs to serve this epoch. Also
+    /// promoted into the base of the *next* epoch so the fold is never
+    /// repeated.
+    sealed: Mutex<Option<Arc<Vec<PreparedRank>>>>,
+}
+
+impl EpochSnapshot {
+    pub(crate) fn new(
+        epoch: u64,
+        ranks: Arc<Vec<PreparedRank>>,
+        overlay: Arc<Vec<Overlay>>,
+        degrees: Arc<Vec<u64>>,
+        triangles: u64,
+    ) -> EpochSnapshot {
+        let overlay_entries = overlay.iter().map(Overlay::entries).sum();
+        EpochSnapshot {
+            epoch,
+            ranks,
+            overlay,
+            degrees,
+            triangles,
+            overlay_entries,
+            sealed: Mutex::new(None),
+        }
+    }
+
+    /// Whether `ranks` alone serves this epoch (no frozen deltas).
+    pub(crate) fn is_clean(&self) -> bool {
+        self.overlay_entries == 0
+    }
+
+    /// The memoized sealed ranks, if a query already folded the overlay.
+    pub(crate) fn sealed_peek(&self) -> Option<Arc<Vec<PreparedRank>>> {
+        self.sealed.lock().expect("sealed lock").clone()
+    }
+
+    /// Serving state without any folding work: the bases when clean, the
+    /// memoized seal when present.
+    pub(crate) fn serving_if_ready(&self) -> Option<Arc<Vec<PreparedRank>>> {
+        if self.is_clean() {
+            Some(self.ranks.clone())
+        } else {
+            self.sealed_peek()
+        }
+    }
+
+    /// Returns prepared state serving this epoch, folding the frozen
+    /// overlay via `fold` exactly once per snapshot (the first caller
+    /// folds under the seal lock; concurrent callers block briefly and
+    /// reuse the memoized result). The second tuple field reports
+    /// whether *this* call performed the fold — the caller accounts the
+    /// compaction then.
+    pub(crate) fn seal<F>(&self, fold: F) -> Result<(Arc<Vec<PreparedRank>>, bool), EngineError>
+    where
+        F: FnOnce(Arc<Vec<PreparedRank>>, Vec<Overlay>) -> Result<Vec<PreparedRank>, EngineError>,
+    {
+        if self.is_clean() {
+            return Ok((self.ranks.clone(), false));
+        }
+        let mut slot = self.sealed.lock().expect("sealed lock");
+        if let Some(ranks) = slot.as_ref() {
+            return Ok((ranks.clone(), false));
+        }
+        let folded = Arc::new(fold(self.ranks.clone(), (*self.overlay).clone())?);
+        *slot = Some(folded.clone());
+        Ok((folded, true))
+    }
+}
+
+struct EpochEntry {
+    snapshot: Arc<EpochSnapshot>,
+    readers: u64,
+    published: Instant,
+}
+
+/// Epoch-lifecycle gauges, snapshotted by [`EpochTable::counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct EpochCounts {
+    /// Epochs currently in the table (current + pinned history).
+    pub live: u64,
+    /// Epochs retired since the engine was built.
+    pub retired: u64,
+    /// Readers currently pinning a snapshot.
+    pub readers_pinned: u64,
+}
+
+struct TableInner {
+    entries: BTreeMap<u64, EpochEntry>,
+    current: u64,
+    retired: u64,
+    /// Retired-epoch lifetimes (publish → retire), nanoseconds.
+    lifetime: LogHistogram,
+}
+
+impl TableInner {
+    /// Drops every non-current epoch whose last reader has drained,
+    /// recording its lifetime. Returns the retired epoch numbers so the
+    /// caller can prune per-epoch result-cache entries.
+    fn sweep(&mut self) -> Vec<u64> {
+        let current = self.current;
+        let dead: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(e, entry)| **e != current && entry.readers == 0)
+            .map(|(e, _)| *e)
+            .collect();
+        for e in &dead {
+            if let Some(entry) = self.entries.remove(e) {
+                self.retired += 1;
+                self.lifetime
+                    .record_seconds(entry.published.elapsed().as_secs_f64());
+            }
+        }
+        dead
+    }
+}
+
+/// The live epochs with their reader pins — the MVCC retire list.
+pub(crate) struct EpochTable {
+    inner: Mutex<TableInner>,
+}
+
+impl EpochTable {
+    pub(crate) fn new(first: EpochSnapshot) -> EpochTable {
+        let epoch = first.epoch;
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            epoch,
+            EpochEntry {
+                snapshot: Arc::new(first),
+                readers: 0,
+                published: Instant::now(),
+            },
+        );
+        EpochTable {
+            inner: Mutex::new(TableInner {
+                entries,
+                current: epoch,
+                retired: 0,
+                lifetime: LogHistogram::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TableInner> {
+        self.inner.lock().expect("epoch table lock")
+    }
+
+    /// The current (tip) snapshot.
+    pub(crate) fn current(&self) -> Arc<EpochSnapshot> {
+        let t = self.lock();
+        t.entries[&t.current].snapshot.clone()
+    }
+
+    /// The current epoch number.
+    pub(crate) fn current_epoch(&self) -> u64 {
+        self.lock().current
+    }
+
+    /// Pins the current snapshot for a newly admitted reader.
+    pub(crate) fn pin(&self) -> Arc<EpochSnapshot> {
+        let mut t = self.lock();
+        let current = t.current;
+        let entry = t.entries.get_mut(&current).expect("current epoch present");
+        entry.readers += 1;
+        entry.snapshot.clone()
+    }
+
+    /// Drops one reader pin from `epoch`. Retires every drained
+    /// non-current epoch and returns their numbers (result-cache entries
+    /// keyed by them are unreachable now).
+    pub(crate) fn unpin(&self, epoch: u64) -> Vec<u64> {
+        let mut t = self.lock();
+        if let Some(entry) = t.entries.get_mut(&epoch) {
+            entry.readers = entry.readers.saturating_sub(1);
+        }
+        t.sweep()
+    }
+
+    /// Publishes `snapshot` as the new current epoch and retires every
+    /// older epoch whose readers have already drained (the common case:
+    /// the previous tip retires immediately when nothing pins it).
+    /// Returns the retired epoch numbers.
+    pub(crate) fn publish(&self, snapshot: EpochSnapshot) -> Vec<u64> {
+        let mut t = self.lock();
+        let epoch = snapshot.epoch;
+        debug_assert!(epoch > t.current, "epochs advance monotonically");
+        t.entries.insert(
+            epoch,
+            EpochEntry {
+                snapshot: Arc::new(snapshot),
+                readers: 0,
+                published: Instant::now(),
+            },
+        );
+        t.current = epoch;
+        t.sweep()
+    }
+
+    /// Lifecycle gauges: live epochs, retired epochs, pinned readers.
+    pub(crate) fn counts(&self) -> EpochCounts {
+        let t = self.lock();
+        EpochCounts {
+            live: t.entries.len() as u64,
+            retired: t.retired,
+            readers_pinned: t.entries.values().map(|e| e.readers).sum(),
+        }
+    }
+
+    /// Distribution of retired-epoch lifetimes (publish → retire).
+    pub(crate) fn lifetime_summary(&self) -> Summary {
+        self.lock().lifetime.summary_seconds()
+    }
+
+    /// A clone of the lifetime histogram, for Prometheus rendering.
+    pub(crate) fn lifetime_histogram(&self) -> LogHistogram {
+        self.lock().lifetime.clone()
+    }
+}

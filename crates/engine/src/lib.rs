@@ -18,31 +18,54 @@
 //! [`QueryKey`](crate::query) share one distributed run (every `VertexLcc`
 //! query rides the same full-vector computation), distinct keys run
 //! concurrently on a `tricount-par` work-stealing pool, and results land in
-//! an **epoch-keyed cache** — [`Engine::advance_epoch`] invalidates
-//! everything at once when the graph is declared stale. Each distributed
-//! run executes under the deadlock watchdog (`tricount_comm::run_guarded`),
-//! so a wedged query surfaces as [`EngineError::Dist`] carrying the
-//! wait-for-graph report instead of taking the server down.
+//! an **epoch-keyed cache**. Each distributed run executes under the
+//! deadlock watchdog (`tricount_comm::run_guarded`), so a wedged query
+//! surfaces as [`EngineError::Dist`] carrying the wait-for-graph report
+//! instead of taking the server down.
+//!
+//! # MVCC epochs: reads never wait on writes
+//!
+//! Every committed graph state is an immutable
+//! [`EpochSnapshot`](crate::epoch): the prepared bases, the frozen update
+//! overlays on top of them, the degree vector and the resident triangle
+//! count. [`Engine::submit`] **pins** the snapshot current at admission;
+//! the query runs against exactly that state no matter how many
+//! [`Engine::apply_updates`] batches commit in the meantime — a waiting
+//! query never observes a mid-batch epoch, and an update never blocks a
+//! read (the engine handle is `Clone` + `Send` + `Sync`; ticks and updates
+//! may run from different threads concurrently). A retire list
+//! ([`EpochTable`](crate::epoch)) frees a superseded epoch the moment its
+//! last reader drains. Compaction — folding overlays into fresh prepared
+//! state once they exceed [`EngineConfig::compaction_fraction`] of the
+//! base, or lazily "sealing" a dirty snapshot the first time a query must
+//! serve it — always *builds new* state; published snapshots are never
+//! mutated, so folding is automatically restricted to state no pinned
+//! reader can still observe.
 //!
 //! The graph itself is **dynamic**: [`Engine::apply_updates`] applies a
 //! batched set of edge insertions/deletions through the distributed delta
 //! protocol (`tricount_core::dist::delta`), maintaining the resident
 //! triangle count ([`Engine::resident_triangles`]) incrementally instead
-//! of recounting, advancing the epoch, and compacting the per-rank
-//! adjacency overlays back into fresh prepared state once they exceed
-//! [`EngineConfig::compaction_fraction`] of the base size. Queries always
-//! see the updated graph: a tick compacts pending overlays first
-//! (read-your-writes).
+//! of recounting, and publishing the result as the next epoch. Queries
+//! submitted afterwards see the updated graph; queries already admitted
+//! keep their pinned pre-update snapshot.
+//!
+//! Many tenants can share one process (and one worker pool) through an
+//! [`EngineHost`]: a tenant → engine map behind global admission budgets
+//! with per-tenant quotas and a concurrent serve loop.
 
 #![warn(missing_docs)]
 
 pub mod check;
+mod epoch;
+mod host;
 mod query;
 mod stats;
 pub mod workload;
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use tricount_cache::{CacheReport, CacheRunOutcome, CacheSession, RankCache};
@@ -62,10 +85,14 @@ use tricount_obs::{LogHistogram, MetricsRegistry};
 use tricount_par::{Pool, WorkerStats};
 
 pub use check::{check_concurrency, CheckOptions, CheckReport};
+pub use host::{
+    EngineHost, HostConfig, HostError, HostReply, HostRequest, HostStats, ServeHandle, TenantStats,
+};
 pub use query::{EngineError, Query, QueryAnswer, TicketId};
 pub use stats::{EngineSpan, EngineStats, QueryRecord};
 pub use workload::scripted_workload;
 
+use epoch::{EpochSnapshot, EpochTable};
 use query::{algorithm_index, bits_for_rel_error, CachedValue, QueryKey};
 
 /// Configuration of an [`Engine`].
@@ -96,8 +123,8 @@ pub struct EngineConfig {
     pub perturb_seed: Option<u64>,
     /// Compaction trigger: once the summed per-rank overlay entries exceed
     /// this fraction of the base adjacency entries,
-    /// [`Engine::apply_updates`] folds the overlays into fresh prepared
-    /// state (a communication-free re-orient + re-contract).
+    /// [`Engine::apply_updates`] folds the overlays into the next epoch's
+    /// prepared state (a communication-free re-orient + re-contract).
     pub compaction_fraction: f64,
     /// Record wall-clock transport events and contention meters on every
     /// run (threads transport only; a no-op on the simulator). Strictly
@@ -168,13 +195,16 @@ impl UpdateReceipt {
     }
 }
 
-/// A query waiting in the admission queue.
-#[derive(Debug, Clone)]
+/// A query waiting in the admission queue, pinning the epoch snapshot it
+/// was admitted on.
 struct Ticket {
     id: TicketId,
     query: Query,
     /// When the query was admitted (queue-wait latency starts here).
     submitted: Instant,
+    /// The graph state this query will be answered against, no matter how
+    /// many updates commit before its tick.
+    snapshot: Arc<EpochSnapshot>,
 }
 
 /// Mutable serving counters (the raw material of [`EngineStats`]).
@@ -246,37 +276,54 @@ impl Metrics {
     }
 }
 
-/// A long-lived engine serving queries against a graph loaded once.
-pub struct Engine {
-    cfg: EngineConfig,
-    ranks: Arc<Vec<PreparedRank>>,
-    /// Per-rank mutable adjacency overlays (update deltas over the
-    /// immutable prepared bases). Locked per rank inside update runs.
-    overlays: Arc<Vec<Mutex<Overlay>>>,
-    /// Per-PE remote-adjacency caches. Query runs read a shared snapshot
-    /// (their run logs commit here post-tick in job order); update runs
-    /// take the cells exclusively through write sessions.
-    adj_caches: Arc<Vec<RankCache>>,
-    degrees: Arc<Vec<u64>>,
-    num_vertices: u64,
+/// The per-PE remote-adjacency caches plus the guards making them safe
+/// under concurrent serving: `version` bumps whenever the contents are
+/// replaced (an update installing its write-session results, a seal
+/// flushing stale generations, a watchdog cold-restart) so in-flight read
+/// logs captured against older contents are dropped instead of committed;
+/// `epoch` names the graph state the contents are coherent with, so only
+/// queries pinned to exactly that epoch open read sessions.
+struct AdjState {
+    caches: Arc<Vec<RankCache>>,
+    version: u64,
     epoch: u64,
-    next_ticket: u64,
-    pending: VecDeque<Ticket>,
-    cache: BTreeMap<(u64, QueryKey), CachedValue>,
-    pool: Pool,
+}
+
+/// The shared state behind an [`Engine`] handle.
+struct EngineInner {
+    cfg: EngineConfig,
+    num_vertices: u64,
+    /// The MVCC epoch table: current snapshot, pinned history, retire
+    /// accounting.
+    epochs: EpochTable,
+    pending: Mutex<VecDeque<Ticket>>,
+    /// Result cache keyed by `(epoch, key)`; entries of an epoch are
+    /// pruned when it retires.
+    results: Mutex<BTreeMap<(u64, QueryKey), CachedValue>>,
+    adj: Mutex<AdjState>,
+    pool: Arc<Pool>,
+    next_ticket: AtomicU64,
+    metrics: Mutex<Metrics>,
+    /// Serializes graph mutations (updates, epoch advances) against each
+    /// other — never against reads.
+    writer: Mutex<()>,
     setup_stats: RunStats,
     /// Statistics of the one-time baseline count establishing
     /// `resident_triangles`.
     baseline_stats: RunStats,
-    /// The incrementally maintained global triangle count.
-    resident_triangles: u64,
-    /// Whether any rank's overlay holds uncompacted deltas. Queries
-    /// compact first (the prepared state they run on is pre-update
-    /// otherwise).
-    dirty: bool,
-    metrics: Metrics,
     /// Wall-clock origin: lifecycle span stamps count from here.
     born: Instant,
+}
+
+/// A long-lived engine serving queries against a graph loaded once.
+///
+/// `Engine` is a cheap cloneable handle over shared state: clones may be
+/// moved to other threads, and every method takes `&self` — reads
+/// ([`submit`](Engine::submit)/[`tick`](Engine::tick)) proceed while
+/// another thread runs [`apply_updates`](Engine::apply_updates).
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
 }
 
 impl Engine {
@@ -284,6 +331,14 @@ impl Engine {
     /// (vertex balanced) and performs the whole distributed setup exactly
     /// once. Everything queries need afterwards is resident.
     pub fn build(g: &Csr, cfg: EngineConfig) -> Engine {
+        let pool = Arc::new(Pool::new(cfg.workers.max(1)));
+        Self::build_with_pool(g, cfg, pool)
+    }
+
+    /// Like [`build`](Engine::build), but executing on a caller-provided
+    /// pool — the multi-tenant [`EngineHost`] shares one pool across every
+    /// tenant engine.
+    pub fn build_with_pool(g: &Csr, cfg: EngineConfig, pool: Arc<Pool>) -> Engine {
         assert!(cfg.num_ranks >= 1, "need at least one PE");
         assert!(cfg.queue_capacity >= 1, "queue capacity must be positive");
         assert!(cfg.batch_max >= 1, "batch size must be positive");
@@ -309,205 +364,228 @@ impl Engine {
             cetric::count_prepared(ctx, &baseline_ranks[ctx.rank()], &dist)
         });
         let resident_triangles = baseline.output.results[0];
-        let overlays = ranks
-            .iter()
-            .map(|r| Mutex::new(Overlay::for_local(&r.local)))
-            .collect();
-        let pool = Pool::new(cfg.workers.max(1));
-        let adj_caches = Arc::new(Self::fresh_caches(&cfg));
-        Engine {
-            cfg,
+        let overlay: Vec<Overlay> = ranks.iter().map(|r| Overlay::for_local(&r.local)).collect();
+        let first = EpochSnapshot::new(
+            0,
             ranks,
-            overlays: Arc::new(overlays),
-            adj_caches,
-            degrees: Arc::new(degrees),
-            num_vertices: g.num_vertices(),
-            epoch: 0,
-            next_ticket: 0,
-            pending: VecDeque::new(),
-            cache: BTreeMap::new(),
-            pool,
-            setup_stats,
-            baseline_stats: baseline.output.stats,
+            Arc::new(overlay),
+            Arc::new(degrees),
             resident_triangles,
-            dirty: false,
-            metrics: Metrics::default(),
-            born: Instant::now(),
+        );
+        let adj = AdjState {
+            caches: Arc::new(EngineInner::fresh_caches(&cfg)),
+            version: 0,
+            epoch: 0,
+        };
+        Engine {
+            inner: Arc::new(EngineInner {
+                num_vertices: g.num_vertices(),
+                epochs: EpochTable::new(first),
+                pending: Mutex::new(VecDeque::new()),
+                results: Mutex::new(BTreeMap::new()),
+                adj: Mutex::new(adj),
+                pool,
+                next_ticket: AtomicU64::new(0),
+                metrics: Mutex::new(Metrics::default()),
+                writer: Mutex::new(()),
+                setup_stats,
+                baseline_stats: baseline.output.stats,
+                born: Instant::now(),
+                cfg,
+            }),
         }
-    }
-
-    /// Wall nanoseconds since the engine was built.
-    #[inline]
-    fn now_nanos(&self) -> u64 {
-        self.born.elapsed().as_nanos() as u64
-    }
-
-    /// Cold per-PE adjacency caches under the configured budget (and the
-    /// §IV-A memory bound, when `dist.memory_limit_words` caps it).
-    fn fresh_caches(cfg: &EngineConfig) -> Vec<RankCache> {
-        (0..cfg.num_ranks)
-            .map(|_| RankCache::new(cfg.dist.cache, cfg.num_ranks, cfg.dist.memory_limit_words))
-            .collect()
-    }
-
-    /// Opens the session a query run uses on rank `rank`: a read session
-    /// over the shared snapshot when the cache is enabled, a metering-only
-    /// session otherwise (so the adjacency/collective comm split is
-    /// observable either way).
-    fn query_session<'c>(caches: &'c [RankCache], enabled: bool, rank: usize) -> CacheSession<'c> {
-        if enabled {
-            CacheSession::read(&caches[rank])
-        } else {
-            CacheSession::metered()
-        }
-    }
-
-    /// Commits one query run's per-rank session logs into the resident
-    /// caches (rank order within the run; runs commit in job order).
-    fn commit_query_outcomes(&mut self, outcomes: Vec<CacheRunOutcome>) {
-        let caches = Arc::make_mut(&mut self.adj_caches);
-        for (rank, o) in outcomes.into_iter().enumerate() {
-            let evicted = caches[rank].commit(&o.log);
-            self.metrics.query_adjacency.absorb(&o.report);
-            self.metrics.query_adjacency.evictions += evicted;
-        }
-    }
-
-    /// Current totals of the per-PE adjacency caches: (held entries,
-    /// resident words).
-    fn adj_cache_usage(&self) -> (u64, u64) {
-        self.adj_caches.iter().fold((0, 0), |(e, w), c| {
-            (e + c.held_entries(), w + c.resident_words())
-        })
     }
 
     /// Number of vertices in the resident graph.
     pub fn num_vertices(&self) -> u64 {
-        self.num_vertices
+        self.inner.num_vertices
     }
 
     /// The current epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.inner.epochs.current_epoch()
     }
 
     /// Queries currently waiting in the admission queue.
     pub fn queue_depth(&self) -> usize {
-        self.pending.len()
+        self.inner.pending.lock().expect("pending lock").len()
     }
 
     /// Statistics of the one-time setup run.
     pub fn setup_stats(&self) -> &RunStats {
-        &self.setup_stats
+        &self.inner.setup_stats
     }
 
     /// Statistics of the one-time baseline count that seeded
     /// [`resident_triangles`](Engine::resident_triangles).
     pub fn baseline_stats(&self) -> &RunStats {
-        &self.baseline_stats
+        &self.inner.baseline_stats
     }
 
     /// The incrementally maintained global triangle count of the resident
     /// graph — exact at every epoch (bit-equal to a from-scratch recount).
     pub fn resident_triangles(&self) -> u64 {
-        self.resident_triangles
+        self.inner.epochs.current().triangles
     }
 
-    /// Whether overlays hold deltas not yet folded into the prepared
-    /// state. Queries compact first, so this being `true` never makes an
+    /// Whether the current epoch's overlay holds deltas not yet folded
+    /// into prepared serving state. Queries seal the snapshot they pin
+    /// (folding once, memoized), so this being `true` never makes an
     /// answer stale.
     pub fn is_dirty(&self) -> bool {
-        self.dirty
+        let tip = self.inner.epochs.current();
+        !tip.is_clean() && tip.sealed_peek().is_none()
     }
 
-    /// Summed overlay entries across ranks (0 when clean).
+    /// Summed overlay entries across ranks awaiting a fold (0 when clean
+    /// or already sealed into serving state).
     pub fn overlay_entries(&self) -> u64 {
-        self.overlays
-            .iter()
-            .map(|ov| ov.lock().expect("overlay lock").entries())
-            .sum()
+        let tip = self.inner.epochs.current();
+        if tip.is_clean() || tip.sealed_peek().is_some() {
+            0
+        } else {
+            tip.overlay_entries
+        }
     }
 
-    /// Enqueues a query. Rejects with [`EngineError::Overloaded`] when the
-    /// queue is at `queue_capacity` — admission control, so a burst beyond
-    /// the configured depth degrades into explicit backpressure instead of
-    /// unbounded memory growth.
-    pub fn submit(&mut self, query: Query) -> Result<TicketId, EngineError> {
-        if self.pending.len() >= self.cfg.queue_capacity {
-            self.metrics.rejected += 1;
+    /// Enqueues a query, pinning the **current** epoch snapshot: the
+    /// answer will reflect exactly the graph state at admission, no matter
+    /// how many updates commit before the draining tick. Rejects with
+    /// [`EngineError::Overloaded`] when the queue is at `queue_capacity` —
+    /// admission control, so a burst beyond the configured depth degrades
+    /// into explicit backpressure instead of unbounded memory growth.
+    pub fn submit(&self, query: Query) -> Result<TicketId, EngineError> {
+        let inner = &self.inner;
+        let mut pending = inner.pending.lock().expect("pending lock");
+        if pending.len() >= inner.cfg.queue_capacity {
+            let depth = pending.len();
+            drop(pending);
+            inner.metrics.lock().expect("metrics lock").rejected += 1;
             return Err(EngineError::Overloaded {
-                depth: self.pending.len(),
-                capacity: self.cfg.queue_capacity,
+                depth,
+                capacity: inner.cfg.queue_capacity,
             });
         }
-        let id = TicketId(self.next_ticket);
-        self.next_ticket += 1;
-        self.metrics
-            .queue_depth_at_submit
-            .record(self.pending.len() as u64);
-        self.pending.push_back(Ticket {
+        let id = TicketId(inner.next_ticket.fetch_add(1, Ordering::Relaxed));
+        let snapshot = inner.epochs.pin();
+        {
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            m.queue_depth_at_submit.record(pending.len() as u64);
+            m.submitted += 1;
+        }
+        pending.push_back(Ticket {
             id,
             query,
             submitted: Instant::now(),
+            snapshot,
         });
-        self.metrics.submitted += 1;
         Ok(id)
     }
 
     /// Drains up to `batch_max` queued queries, executes the batch, and
-    /// returns `(ticket, answer)` pairs in submission order.
+    /// returns `(ticket, answer)` pairs in submission order. See
+    /// [`tick_pinned`](Engine::tick_pinned) for the variant reporting the
+    /// epoch each answer was computed at.
+    pub fn tick(&self) -> Vec<(TicketId, Result<QueryAnswer, EngineError>)> {
+        self.tick_pinned()
+            .into_iter()
+            .map(|(id, _epoch, a)| (id, a))
+            .collect()
+    }
+
+    /// Drains up to `batch_max` queued queries, executes the batch, and
+    /// returns `(ticket, pinned epoch, answer)` triples in submission
+    /// order.
     ///
-    /// Within a batch, queries normalising to the same cache key share one
-    /// distributed run; distinct keys execute concurrently on the engine's
+    /// Within a batch, queries normalising to the same cache key **at the
+    /// same pinned epoch** share one distributed run; distinct
+    /// (epoch, key) jobs execute concurrently on the engine's
     /// work-stealing pool. Freshly computed values enter the epoch-keyed
-    /// cache, so an identical later query is a cache hit.
-    pub fn tick(&mut self) -> Vec<(TicketId, Result<QueryAnswer, EngineError>)> {
-        let n = self.pending.len().min(self.cfg.batch_max);
-        if n == 0 {
-            return Vec::new();
-        }
-        // Read-your-writes: fold pending update overlays into the prepared
-        // state before serving, so every query kind sees the updated graph.
-        if self.dirty {
-            if let Err(e) = self.compact() {
-                let batch: Vec<Ticket> = self.pending.drain(..n).collect();
-                return batch.into_iter().map(|t| (t.id, Err(e.clone()))).collect();
+    /// cache, so an identical later query at the same epoch is a cache
+    /// hit. A dirty pinned snapshot is sealed first (its frozen overlay
+    /// folded into serving state, once, memoized in the snapshot).
+    pub fn tick_pinned(&self) -> Vec<(TicketId, u64, Result<QueryAnswer, EngineError>)> {
+        let inner = &self.inner;
+        let batch: Vec<Ticket> = {
+            let mut pending = inner.pending.lock().expect("pending lock");
+            let n = pending.len().min(inner.cfg.batch_max);
+            if n == 0 {
+                return Vec::new();
             }
-        }
-        let batch_index = self.metrics.batches;
-        self.metrics.batches += 1;
-        let tick_begin = self.now_nanos();
+            pending.drain(..n).collect()
+        };
+        let n = batch.len();
+        let tick_begin = inner.now_nanos();
+        let batch_index = {
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            let b = m.batches;
+            m.batches += 1;
+            m.batch_sizes.record(n as u64);
+            b
+        };
         let drained_at = Instant::now();
-        let batch: Vec<Ticket> = self.pending.drain(..n).collect();
-        self.metrics.batch_sizes.record(n as u64);
 
         // Normalise to cache keys; invalid queries fail without executing.
-        let mut keyed: Vec<(Ticket, Result<QueryKey, EngineError>)> = batch
+        let keyed: Vec<(Ticket, Result<QueryKey, EngineError>)> = batch
             .into_iter()
             .map(|t| {
-                let key = self.key_of(&t.query);
+                let key = inner.key_of(&t.query);
                 (t, key)
             })
             .collect();
 
-        // The batch's distinct, uncached keys — each computed exactly once.
-        let mut jobs: Vec<QueryKey> = Vec::new();
-        for (_, key) in &keyed {
-            if let Ok(k) = key {
-                let cached = self.cache.contains_key(&(self.epoch, k.clone()));
-                if !cached && !jobs.contains(k) {
-                    jobs.push(k.clone());
+        // Seal every distinct pinned snapshot up front, so all jobs of
+        // this tick run against folded serving state and one coherent
+        // adjacency-cache snapshot.
+        let mut serving: BTreeMap<u64, Arc<Vec<PreparedRank>>> = BTreeMap::new();
+        for (t, key) in &keyed {
+            if key.is_ok() && !serving.contains_key(&t.snapshot.epoch) {
+                match inner.serving_ranks(&t.snapshot, batch_index) {
+                    Ok(r) => {
+                        serving.insert(t.snapshot.epoch, r);
+                    }
+                    Err(e) => return inner.fail_batch(keyed, e),
                 }
             }
         }
 
-        let admit_end = self.now_nanos();
+        // One adjacency snapshot per tick: contents, the version guarding
+        // commits, and the epoch the contents are coherent with.
+        let (caches, cache_version, cache_epoch) = {
+            let a = inner.adj.lock().expect("adjacency lock");
+            (a.caches.clone(), a.version, a.epoch)
+        };
+        let cache_on = inner.cfg.dist.cache.enabled;
 
-        // Concurrent execution of distinct keys (scoped threads; the
+        // The batch's distinct, uncached (epoch, key) jobs — each computed
+        // exactly once.
+        let mut jobs: Vec<(Arc<EpochSnapshot>, Arc<Vec<PreparedRank>>, QueryKey)> = Vec::new();
+        {
+            let results = inner.results.lock().expect("results lock");
+            for (t, key) in &keyed {
+                if let Ok(k) = key {
+                    let e = t.snapshot.epoch;
+                    if !results.contains_key(&(e, k.clone()))
+                        && !jobs.iter().any(|(s, _, jk)| s.epoch == e && jk == k)
+                    {
+                        jobs.push((t.snapshot.clone(), serving[&e].clone(), k.clone()));
+                    }
+                }
+            }
+        }
+        let admit_end = inner.now_nanos();
+
+        // Concurrent execution of distinct jobs (scoped threads; the
         // closure only borrows the resident state).
-        let (task_results, pool_stats) = self
-            .pool
-            .run_tasks_stats(jobs.clone(), |_, key| self.compute(&key));
+        let (task_results, pool_stats) =
+            inner
+                .pool
+                .run_tasks_stats(jobs.clone(), |_, (snap, ranks, key)| {
+                    // Read sessions only against contents coherent with
+                    // the job's pinned epoch; older epochs run metered.
+                    let enabled = cache_on && snap.epoch == cache_epoch;
+                    inner.compute(&snap, &ranks, &key, &caches, enabled)
+                });
         #[allow(clippy::type_complexity)]
         let computed: Vec<
             Result<
@@ -521,128 +599,146 @@ impl Engine {
                 EngineError,
             >,
         > = task_results.into_iter().map(|tr| tr.result).collect();
-        if self.metrics.pool_workers.len() < pool_stats.workers.len() {
-            self.metrics
-                .pool_workers
-                .resize(pool_stats.workers.len(), WorkerStats::default());
-        }
-        for (acc, w) in self
-            .metrics
-            .pool_workers
-            .iter_mut()
-            .zip(&pool_stats.workers)
-        {
-            acc.absorb(w);
-        }
-        let run_end = self.now_nanos();
+        let run_end = inner.now_nanos();
 
         // Fold results into cache and metrics.
-        let cost = self.cfg.timing.unwrap_or_default();
-        let mut failures: BTreeMap<QueryKey, EngineError> = BTreeMap::new();
-        let mut run_costs: BTreeMap<QueryKey, (f64, f64)> = BTreeMap::new();
+        let cost = inner.cfg.timing.unwrap_or_default();
+        let mut failures: BTreeMap<(u64, QueryKey), EngineError> = BTreeMap::new();
+        let mut run_costs: BTreeMap<(u64, QueryKey), (f64, f64)> = BTreeMap::new();
         let mut committed_logs = false;
-        for (key, outcome) in jobs.into_iter().zip(computed) {
-            match outcome {
-                Ok((value, stats, wall, dispatch, cache_outcomes)) => {
-                    let modeled = stats.modeled_time(&cost);
-                    self.metrics.kernel_dispatch.absorb(&dispatch);
-                    self.metrics.absorb_contention(&stats);
-                    self.metrics.query_comm.absorb(&stats.totals());
-                    self.metrics
-                        .query_preprocessing_comm
-                        .absorb(&stats.phase_totals("preprocessing"));
-                    self.metrics.modeled_seconds_total += modeled;
-                    self.metrics.wall_seconds_total += wall;
-                    self.metrics.run_wall.record_seconds(wall);
-                    self.metrics.run_modeled.record_seconds(modeled);
-                    run_costs.insert(key.clone(), (modeled, wall));
-                    self.cache.insert((self.epoch, key), value);
-                    // Admissions observed by this run become visible to the
-                    // next tick's snapshot (never to concurrent jobs of this
-                    // one) — job order makes the state schedule-independent.
-                    committed_logs |= self.cfg.dist.cache.enabled && !cache_outcomes.is_empty();
-                    self.commit_query_outcomes(cache_outcomes);
-                }
-                Err(e) => {
-                    failures.insert(key, e);
+        {
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            if m.pool_workers.len() < pool_stats.workers.len() {
+                m.pool_workers
+                    .resize(pool_stats.workers.len(), WorkerStats::default());
+            }
+            for (acc, w) in m.pool_workers.iter_mut().zip(&pool_stats.workers) {
+                acc.absorb(w);
+            }
+            for ((snap, _ranks, key), outcome) in jobs.into_iter().zip(computed) {
+                match outcome {
+                    Ok((value, stats, wall, dispatch, cache_outcomes)) => {
+                        let modeled = stats.modeled_time(&cost);
+                        m.kernel_dispatch.absorb(&dispatch);
+                        m.absorb_contention(&stats);
+                        m.query_comm.absorb(&stats.totals());
+                        m.query_preprocessing_comm
+                            .absorb(&stats.phase_totals("preprocessing"));
+                        m.modeled_seconds_total += modeled;
+                        m.wall_seconds_total += wall;
+                        m.run_wall.record_seconds(wall);
+                        m.run_modeled.record_seconds(modeled);
+                        run_costs.insert((snap.epoch, key.clone()), (modeled, wall));
+                        inner
+                            .results
+                            .lock()
+                            .expect("results lock")
+                            .insert((snap.epoch, key), value);
+                        // Admissions observed by this run become visible
+                        // to later ticks (never to concurrent jobs of this
+                        // one) — job order makes the state
+                        // schedule-independent. The version guard drops
+                        // logs raced by an update or seal.
+                        let want = cache_on && snap.epoch == cache_epoch;
+                        committed_logs |= inner.commit_query_outcomes(
+                            &mut m,
+                            cache_outcomes,
+                            want,
+                            cache_version,
+                        );
+                    }
+                    Err(e) => {
+                        failures.insert((snap.epoch, key), e);
+                    }
                 }
             }
         }
         if committed_logs {
-            self.metrics.spans.push(EngineSpan {
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            let end = inner.now_nanos();
+            m.spans.push(EngineSpan {
                 label: "cache_commit",
                 batch: batch_index,
                 begin_nanos: run_end,
-                end_nanos: self.now_nanos(),
+                end_nanos: end,
             });
         }
 
         // Answer every ticket from the (now warm) cache. The first ticket
-        // that triggered a key's run carries its cost and counts as the
-        // miss; everything else in the batch shared the work (or the
-        // cache) and counts as a hit.
+        // that triggered a job carries its cost and counts as the miss;
+        // everything else in the batch shared the work (or the cache) and
+        // counts as a hit. Each answered ticket drops its epoch pin —
+        // retiring drained epochs and pruning their cached results.
         let mut out = Vec::with_capacity(keyed.len());
-        for (ticket, key) in keyed.drain(..) {
-            let kind = ticket.query.kind();
-            let queue_seconds = drained_at
-                .saturating_duration_since(ticket.submitted)
-                .as_secs_f64();
-            self.metrics.queue_wait.record_seconds(queue_seconds);
-            let mut hit = false;
-            let mut modeled = 0.0;
-            let mut wall = 0.0;
-            let answer = match key {
-                Err(e) => Err(e),
-                Ok(k) => {
-                    if let Some(e) = failures.get(&k) {
-                        Err(e.clone())
-                    } else {
-                        match run_costs.remove(&k) {
-                            Some((m, w)) => {
-                                modeled = m;
-                                wall = w;
+        {
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            for (ticket, key) in keyed {
+                let id = ticket.id;
+                let kind = ticket.query.kind();
+                let epoch = ticket.snapshot.epoch;
+                let queue_seconds = drained_at
+                    .saturating_duration_since(ticket.submitted)
+                    .as_secs_f64();
+                m.queue_wait.record_seconds(queue_seconds);
+                let mut hit = false;
+                let mut modeled = 0.0;
+                let mut wall = 0.0;
+                let answer = match key {
+                    Err(e) => Err(e),
+                    Ok(k) => {
+                        if let Some(e) = failures.get(&(epoch, k.clone())) {
+                            Err(e.clone())
+                        } else {
+                            match run_costs.remove(&(epoch, k.clone())) {
+                                Some((mo, w)) => {
+                                    modeled = mo;
+                                    wall = w;
+                                }
+                                None => hit = true,
                             }
-                            None => hit = true,
+                            let results = inner.results.lock().expect("results lock");
+                            let value = results.get(&(epoch, k)).expect("computed or cached above");
+                            Ok(project(&ticket.query, value))
                         }
-                        let value = self
-                            .cache
-                            .get(&(self.epoch, k))
-                            .expect("computed or cached above");
-                        Ok(project(&ticket.query, value))
+                    }
+                };
+                m.answered += 1;
+                if answer.is_ok() {
+                    if hit {
+                        m.cache_hits += 1;
+                    } else {
+                        m.cache_misses += 1;
                     }
                 }
-            };
-            self.metrics.answered += 1;
-            if answer.is_ok() {
-                if hit {
-                    self.metrics.cache_hits += 1;
-                } else {
-                    self.metrics.cache_misses += 1;
-                }
+                m.per_query.push(QueryRecord {
+                    kind,
+                    cache_hit: hit,
+                    queue_seconds,
+                    modeled_seconds: modeled,
+                    wall_seconds: wall,
+                    failed: answer.is_err(),
+                });
+                drop(ticket);
+                inner.release_pin(epoch);
+                out.push((id, epoch, answer));
             }
-            self.metrics.per_query.push(QueryRecord {
-                kind,
-                cache_hit: hit,
-                queue_seconds,
-                modeled_seconds: modeled,
-                wall_seconds: wall,
-                failed: answer.is_err(),
-            });
-            out.push((ticket.id, answer));
         }
-        let answer_end = self.now_nanos();
-        for (label, begin_nanos, end_nanos) in [
-            ("batch", tick_begin, answer_end),
-            ("admit", tick_begin, admit_end),
-            ("run", admit_end, run_end),
-            ("answer", run_end, answer_end),
-        ] {
-            self.metrics.spans.push(EngineSpan {
-                label,
-                batch: batch_index,
-                begin_nanos,
-                end_nanos,
-            });
+        let answer_end = inner.now_nanos();
+        {
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            for (label, begin_nanos, end_nanos) in [
+                ("batch", tick_begin, answer_end),
+                ("admit", tick_begin, admit_end),
+                ("run", admit_end, run_end),
+                ("answer", run_end, answer_end),
+            ] {
+                m.spans.push(EngineSpan {
+                    label,
+                    batch: batch_index,
+                    begin_nanos,
+                    end_nanos,
+                });
+            }
         }
         out
     }
@@ -651,7 +747,7 @@ impl Engine {
     /// synchronous convenience path. Queued queries ahead of it are
     /// answered along the way (their results are dropped here; use
     /// [`submit`](Engine::submit)/[`tick`](Engine::tick) to collect them).
-    pub fn query(&mut self, query: Query) -> Result<QueryAnswer, EngineError> {
+    pub fn query(&self, query: Query) -> Result<QueryAnswer, EngineError> {
         let id = self.submit(query)?;
         loop {
             let answers = self.tick();
@@ -661,15 +757,42 @@ impl Engine {
         }
     }
 
-    /// Declares the resident graph stale: bumps the epoch, which atomically
-    /// invalidates every cached result (entries are keyed by epoch; old
-    /// epochs are dropped). [`apply_updates`](Engine::apply_updates) calls
-    /// this whenever a batch changes the graph; calling it directly models
+    /// Declares the resident graph stale: publishes the same graph state
+    /// as a new epoch, which atomically invalidates every cached result —
+    /// entries are keyed by epoch, and the superseded epoch retires (its
+    /// entries pruned) as soon as its last pinned reader drains
+    /// (immediately, when nothing pins it).
+    /// [`apply_updates`](Engine::apply_updates) publishes a new epoch
+    /// whenever a batch changes the graph; calling this directly models
     /// upstream recomputation triggers on an unchanged topology.
-    pub fn advance_epoch(&mut self) {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        self.cache.retain(|(e, _), _| *e == epoch);
+    pub fn advance_epoch(&self) {
+        let inner = &self.inner;
+        let _w = inner.writer.lock().expect("writer lock");
+        let tip = inner.epochs.current();
+        // Promote a memoized seal: the new epoch starts from the folded
+        // state with a clean overlay, so the fold is never repeated.
+        let (ranks, overlay) = match tip.sealed_peek() {
+            Some(sealed) if !tip.is_clean() => {
+                let fresh: Vec<Overlay> = sealed
+                    .iter()
+                    .map(|r| Overlay::for_local(&r.local))
+                    .collect();
+                (sealed, Arc::new(fresh))
+            }
+            _ => (tip.ranks.clone(), tip.overlay.clone()),
+        };
+        let next_epoch = tip.epoch + 1;
+        let next = EpochSnapshot::new(
+            next_epoch,
+            ranks,
+            overlay,
+            tip.degrees.clone(),
+            tip.triangles,
+        );
+        let retired = inner.epochs.publish(next);
+        inner.prune_results(&retired);
+        // Same graph, new epoch: the adjacency contents stay coherent.
+        inner.adj.lock().expect("adjacency lock").epoch = next_epoch;
     }
 
     /// Applies a batch of edge insertions/deletions to the resident graph
@@ -677,23 +800,31 @@ impl Engine {
     /// [`resident_triangles`](Engine::resident_triangles) incrementally:
     /// the batch is canonicalised, routed to the owning ranks, filtered
     /// for no-ops, and the exact triangle delta is counted as distributed
-    /// intersections with same-batch corrections — no recount. Advances
-    /// the epoch iff the graph changed, and compacts the overlays once
-    /// they exceed [`EngineConfig::compaction_fraction`] of the base.
+    /// intersections with same-batch corrections — no recount. The result
+    /// is **published as a new epoch** iff the graph changed: queries
+    /// admitted earlier keep their pinned snapshot and never observe the
+    /// mid-batch state, queries admitted later see the update. Overlays
+    /// exceeding [`EngineConfig::compaction_fraction`] of the base are
+    /// folded into the new epoch's prepared state before publication
+    /// (never into a published snapshot).
     ///
     /// Vertex ids must be in range ([`EngineError::UnknownVertex`]
     /// otherwise — the vertex set is fixed at build). An empty or fully
     /// cancelling batch returns a zero receipt without advancing the
-    /// epoch.
-    pub fn apply_updates(&mut self, batch: &UpdateBatch) -> Result<UpdateReceipt, EngineError> {
+    /// epoch. Concurrent writers serialize on an internal lock; readers
+    /// are never blocked.
+    pub fn apply_updates(&self, batch: &UpdateBatch) -> Result<UpdateReceipt, EngineError> {
+        let inner = &self.inner;
         if let Some(mx) = batch.max_vertex() {
-            self.check_vertex(mx)?;
+            inner.check_vertex(mx)?;
         }
         let canonical = batch.canonicalize();
-        let triangles_before = self.resident_triangles;
+        let _w = inner.writer.lock().expect("writer lock");
+        let tip = inner.epochs.current();
+        let triangles_before = tip.triangles;
         if canonical.is_empty() {
             return Ok(UpdateReceipt {
-                epoch: self.epoch,
+                epoch: tip.epoch,
                 inserted: 0,
                 deleted: 0,
                 noops: 0,
@@ -706,43 +837,55 @@ impl Engine {
                 wall_seconds: 0.0,
             });
         }
-        let p = self.cfg.num_ranks;
-        let opts = SimOptions {
-            transport: self.cfg.dist.transport,
-            timing: self.cfg.timing,
-            record_trace: false,
-            perturb_seed: self.cfg.perturb_seed,
-            wall_profile: self.cfg.wall_profile,
-            ..SimOptions::default()
-        };
-        let update_begin = self.now_nanos();
+        let p = inner.cfg.num_ranks;
+        let opts = inner.run_opts();
+        let update_begin = inner.now_nanos();
         let started = Instant::now();
-        let ranks = self.ranks.clone();
-        let overlays = self.overlays.clone();
-        let dist = self.cfg.dist;
+        // Base state of the next epoch: the tip's memoized seal when a
+        // query already folded its overlay (the fold is never repeated —
+        // tip-seal promotion), otherwise the tip's bases plus a thawed
+        // copy of its frozen overlay. The tip snapshot itself is never
+        // touched: pinned readers keep serving from it.
+        let (base_ranks, thawed): (Arc<Vec<PreparedRank>>, Vec<Overlay>) = match tip.sealed_peek() {
+            Some(sealed) if !tip.is_clean() => {
+                let fresh = sealed
+                    .iter()
+                    .map(|r| Overlay::for_local(&r.local))
+                    .collect();
+                (sealed, fresh)
+            }
+            _ => (tip.ranks.clone(), (*tip.overlay).clone()),
+        };
+        let overlays: Arc<Vec<Mutex<Overlay>>> =
+            Arc::new(thawed.into_iter().map(Mutex::new).collect());
+        let dist = inner.cfg.dist;
         let shared_batch = Arc::new(canonical);
         let batch_ref = shared_batch.clone();
-        // The update run is the adjacency cache's single writer: move the
-        // cells into per-rank mutexes for its duration. Write sessions
-        // emit the coherence records keeping held `Full` entries exact.
-        let enabled = self.cfg.dist.cache.enabled;
+        // The update run is the adjacency cache's single writer — but it
+        // writes a *copy*, installed (with a bumped version) only after
+        // the new epoch is published. Mid-flight readers keep the old
+        // contents; the version guard drops their commit logs. Write
+        // sessions emit the coherence records keeping held `Full` entries
+        // exact.
+        let enabled = inner.cfg.dist.cache.enabled;
         let cache_cells: Arc<Vec<Mutex<RankCache>>> = {
-            let taken = std::mem::replace(&mut self.adj_caches, Arc::new(Vec::new()));
-            let cells = Arc::try_unwrap(taken).unwrap_or_else(|shared| (*shared).clone());
-            Arc::new(cells.into_iter().map(Mutex::new).collect())
+            let a = inner.adj.lock().expect("adjacency lock");
+            Arc::new((*a.caches).clone().into_iter().map(Mutex::new).collect())
         };
         let run_cells = cache_cells.clone();
-        let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
-            let mut ov = overlays[ctx.rank()].lock().expect("overlay lock");
+        let run_ranks = base_ranks.clone();
+        let run_overlays = overlays.clone();
+        let out = run_guarded(p, &opts, inner.cfg.watchdog, move |ctx: &mut Ctx| {
+            let mut ov = run_overlays[ctx.rank()].lock().expect("overlay lock");
             let mut cache = run_cells[ctx.rank()].lock().expect("cache cell");
             let mut session = if enabled {
-                CacheSession::write(&mut cache, ranks[ctx.rank()].generation)
+                CacheSession::write(&mut cache, run_ranks[ctx.rank()].generation)
             } else {
                 CacheSession::metered()
             };
             let outcome = delta_dist::apply_batch_rank_cached(
                 ctx,
-                &ranks[ctx.rank()].local,
+                &run_ranks[ctx.rank()].local,
                 &mut ov,
                 &batch_ref,
                 &dist,
@@ -755,44 +898,28 @@ impl Engine {
             };
             (outcome, report)
         });
-        // Put the cells back before surfacing any error. On success every
-        // rank finished its session, so the cell contents are final — take
-        // them out under the locks (rank threads may outlive the run for a
-        // few microseconds, so sole Arc ownership cannot be assumed). A
-        // watchdog-killed run may have leaked rank threads mid-session; the
-        // only safe option then is to restart cold.
-        self.adj_caches = if out.is_ok() {
-            let hollow = RankCache::new(tricount_cache::CacheConfig::default(), 1, None);
-            Arc::new(
-                cache_cells
-                    .iter()
-                    .map(|m| std::mem::replace(&mut *m.lock().expect("cache cell"), hollow.clone()))
-                    .collect(),
-            )
-        } else {
-            Arc::new(Self::fresh_caches(&self.cfg))
+        let out = match out {
+            Ok(out) => out,
+            Err(e) => {
+                // A watchdog-killed run may have leaked rank threads still
+                // holding cache cells mid-session; restart the shared
+                // caches cold (readers racing the failure drop their logs
+                // on the version bump).
+                let mut a = inner.adj.lock().expect("adjacency lock");
+                a.caches = Arc::new(EngineInner::fresh_caches(&inner.cfg));
+                a.version += 1;
+                return Err(DistError::from(e).into());
+            }
         };
-        let out = out.map_err(DistError::from)?;
         let wall = started.elapsed().as_secs_f64();
         let stats = out.output.stats;
-        self.metrics.absorb_contention(&stats);
         let (outcomes, cache_reports): (Vec<_>, Vec<CacheReport>) =
             out.output.results.into_iter().unzip();
-        for r in &cache_reports {
-            self.metrics.update_adjacency.absorb(r);
-        }
-
-        // Kernel-dispatch tallies of the counting passes, folded per rank
-        // in rank order under the update-count phase.
-        for o in &outcomes {
-            self.metrics
-                .kernel_dispatch
-                .add(phases::UPDATE_COUNT, o.kernels);
-        }
 
         // Degree maintenance: each effective edge appears in exactly one
-        // rank's tail list; both endpoint degrees move by one.
-        let degrees = Arc::make_mut(&mut self.degrees);
+        // rank's tail list; both endpoint degrees move by one. The next
+        // epoch gets its own vector — the tip's stays frozen.
+        let mut degrees = (*tip.degrees).clone();
         for o in &outcomes {
             for &(ins, u, v) in &o.tail_effective {
                 for x in [u, v] {
@@ -804,37 +931,43 @@ impl Engine {
 
         let global = &outcomes[0];
         let triangles_after = triangles_before + global.triangles_added - global.triangles_removed;
-        self.resident_triangles = triangles_after;
-        if global.inserted + global.deleted > 0 {
-            self.advance_epoch();
-        }
+        let changed = global.inserted + global.deleted > 0;
         let overlay_entries: u64 = outcomes.iter().map(|o| o.overlay_entries).sum();
         let base_entries: u64 = outcomes.iter().map(|o| o.base_entries).sum();
-        self.dirty = overlay_entries > 0;
         let overlay_fraction = overlay_entries as f64 / base_entries.max(1) as f64;
 
         let totals = stats.totals();
-        let modeled = stats.modeled_time(&self.cfg.timing.unwrap_or_default());
-        self.metrics.updates_applied += 1;
-        self.metrics.edges_inserted += global.inserted;
-        self.metrics.edges_deleted += global.deleted;
-        self.metrics.update_noops += global.noops;
-        self.metrics.update_comm.absorb(&totals);
-        self.metrics.update_modeled_seconds += modeled;
-        self.metrics.update_wall_seconds += wall;
-        self.metrics.spans.push(EngineSpan {
-            label: "update",
-            batch: self.metrics.batches,
-            begin_nanos: update_begin,
-            end_nanos: self.now_nanos(),
-        });
-
-        let compacted = self.dirty && overlay_fraction > self.cfg.compaction_fraction;
-        if compacted {
-            self.compact()?;
+        let modeled = stats.modeled_time(&inner.cfg.timing.unwrap_or_default());
+        {
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            m.absorb_contention(&stats);
+            for r in &cache_reports {
+                m.update_adjacency.absorb(r);
+            }
+            // Kernel-dispatch tallies of the counting passes, folded per
+            // rank in rank order under the update-count phase.
+            for o in &outcomes {
+                m.kernel_dispatch.add(phases::UPDATE_COUNT, o.kernels);
+            }
+            m.updates_applied += 1;
+            m.edges_inserted += global.inserted;
+            m.edges_deleted += global.deleted;
+            m.update_noops += global.noops;
+            m.update_comm.absorb(&totals);
+            m.update_modeled_seconds += modeled;
+            m.update_wall_seconds += wall;
+            let end = inner.now_nanos();
+            let batch_index = m.batches;
+            m.spans.push(EngineSpan {
+                label: "update",
+                batch: batch_index,
+                begin_nanos: update_begin,
+                end_nanos: end,
+            });
         }
-        Ok(UpdateReceipt {
-            epoch: self.epoch,
+
+        let receipt = |epoch: u64, compacted: bool| UpdateReceipt {
+            epoch,
             inserted: global.inserted,
             deleted: global.deleted,
             noops: global.noops,
@@ -845,129 +978,164 @@ impl Engine {
             comm: totals,
             modeled_seconds: modeled,
             wall_seconds: wall,
-        })
-    }
-
-    /// Folds every rank's overlay into fresh prepared state: merge the
-    /// delta lists into a new base, re-orient, re-contract. No
-    /// communication — the update protocol kept ghost degrees current for
-    /// every touched vertex.
-    fn compact(&mut self) -> Result<(), EngineError> {
-        let p = self.cfg.num_ranks;
-        let opts = SimOptions {
-            transport: self.cfg.dist.transport,
-            timing: self.cfg.timing,
-            record_trace: false,
-            perturb_seed: self.cfg.perturb_seed,
-            wall_profile: self.cfg.wall_profile,
-            ..SimOptions::default()
         };
-        let begin = self.now_nanos();
-        let ranks = self.ranks.clone();
-        let overlays = self.overlays.clone();
-        let dist = self.cfg.dist;
-        let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
-            let mut ov = overlays[ctx.rank()].lock().expect("overlay lock");
-            delta_dist::compact_rank(ctx, &ranks[ctx.rank()], &mut ov, &dist)
-        })
-        .map_err(DistError::from)?;
-        self.ranks = Arc::new(out.output.results);
-        // Compaction re-orients and re-contracts, so oriented/contracted
-        // cache entries go stale wholesale: the bumped generation tag
-        // flushes them locally (merged `Full` lists survive — coherence
-        // kept them exact through the updates that forced this).
-        if self.cfg.dist.cache.enabled {
-            let generation = self.ranks[0].generation;
-            let caches = Arc::make_mut(&mut self.adj_caches);
-            for c in caches.iter_mut() {
-                c.set_generation(generation);
-            }
-        }
-        self.dirty = false;
-        self.metrics.compactions += 1;
-        self.metrics.absorb_contention(&out.output.stats);
-        self.metrics
-            .compaction_comm
-            .absorb(&out.output.stats.totals());
-        self.metrics.spans.push(EngineSpan {
-            label: "compaction",
-            batch: self.metrics.batches,
-            begin_nanos: begin,
-            end_nanos: self.now_nanos(),
-        });
-        Ok(())
-    }
 
-    /// Folds a contention accessor over the setup and baseline runs (the
-    /// two runs metered before `Metrics` accumulates anything).
-    fn boot_contention(&self, f: impl Fn(&tricount_comm::ContentionSummary) -> f64) -> f64 {
-        [&self.setup_stats, &self.baseline_stats]
-            .iter()
-            .filter_map(|s| s.contention.as_ref())
-            .map(f)
-            .sum()
+        if !changed {
+            // Every op was a no-op: the graph and overlays are unchanged,
+            // so no new epoch. Install the (identical) cache contents
+            // back to keep the single-writer discipline simple.
+            inner.install_cache_cells(&cache_cells, tip.epoch);
+            return Ok(receipt(tip.epoch, false));
+        }
+
+        // Take the worked overlays back out of their run cells (rank
+        // threads may outlive the run for a few microseconds, so sole
+        // ownership cannot be assumed — fall back to clone).
+        let worked: Vec<Overlay> = match Arc::try_unwrap(overlays) {
+            Ok(cells) => cells
+                .into_iter()
+                .map(|c| c.into_inner().expect("overlay cell"))
+                .collect(),
+            Err(shared) => shared
+                .iter()
+                .map(|c| c.lock().expect("overlay cell").clone())
+                .collect(),
+        };
+
+        // Fold into the next epoch's bases when over threshold. Published
+        // snapshots are never mutated: the fold output only ever becomes
+        // the *new* epoch.
+        let compacted = overlay_entries > 0 && overlay_fraction > inner.cfg.compaction_fraction;
+        let (next_ranks, next_overlay) = if compacted {
+            let begin = inner.now_nanos();
+            let folded = match inner.fold_overlays(base_ranks.clone(), worked.clone()) {
+                Ok(r) => Arc::new(r),
+                Err(e) => {
+                    // The update itself committed; publish it uncompacted
+                    // and surface the fold failure (watchdog kill) as the
+                    // call's error, mirroring the pre-MVCC behaviour.
+                    inner.publish_update(
+                        tip.epoch + 1,
+                        base_ranks,
+                        worked,
+                        &degrees,
+                        triangles_after,
+                        &cache_cells,
+                    );
+                    return Err(e);
+                }
+            };
+            if enabled {
+                // Re-orientation/re-contraction stales oriented and
+                // contracted cache entries wholesale: the bumped
+                // generation tag flushes them from the copy about to be
+                // installed (merged `Full` lists survive — coherence kept
+                // them exact through the updates that forced this fold).
+                let generation = folded[0].generation;
+                for cell in cache_cells.iter() {
+                    cell.lock().expect("cache cell").set_generation(generation);
+                }
+            }
+            let fresh: Vec<Overlay> = folded
+                .iter()
+                .map(|r| Overlay::for_local(&r.local))
+                .collect();
+            let mut m = inner.metrics.lock().expect("metrics lock");
+            m.compactions += 1;
+            let end = inner.now_nanos();
+            let batch_index = m.batches;
+            m.spans.push(EngineSpan {
+                label: "compaction",
+                batch: batch_index,
+                begin_nanos: begin,
+                end_nanos: end,
+            });
+            (folded, fresh)
+        } else {
+            (base_ranks, worked)
+        };
+
+        inner.publish_update(
+            tip.epoch + 1,
+            next_ranks,
+            next_overlay,
+            &degrees,
+            triangles_after,
+            &cache_cells,
+        );
+        Ok(receipt(tip.epoch + 1, compacted))
     }
 
     /// Snapshots aggregate and per-query serving statistics.
     pub fn stats(&self) -> EngineStats {
-        let (adj_cache_entries, adj_cache_resident_words) = self.adj_cache_usage();
+        let inner = &self.inner;
+        let (adj_cache_entries, adj_cache_resident_words) = inner.adj_cache_usage();
+        let epochs = inner.epochs.counts();
+        let tip = inner.epochs.current();
+        let queue_depth = self.queue_depth();
+        let cache_entries = inner.results.lock().expect("results lock").len();
+        let m = inner.metrics.lock().expect("metrics lock");
         EngineStats {
-            num_ranks: self.cfg.num_ranks,
-            transport: self.cfg.dist.transport.name(),
-            epoch: self.epoch,
-            submitted: self.metrics.submitted,
-            rejected: self.metrics.rejected,
-            answered: self.metrics.answered,
-            cache_hits: self.metrics.cache_hits,
-            cache_misses: self.metrics.cache_misses,
-            batches: self.metrics.batches,
-            queue_depth: self.pending.len(),
-            cache_entries: self.cache.len(),
+            num_ranks: inner.cfg.num_ranks,
+            transport: inner.cfg.dist.transport.name(),
+            epoch: tip.epoch,
+            submitted: m.submitted,
+            rejected: m.rejected,
+            answered: m.answered,
+            cache_hits: m.cache_hits,
+            cache_misses: m.cache_misses,
+            batches: m.batches,
+            queue_depth,
+            cache_entries,
             setup_runs: 1,
-            setup_comm: self.setup_stats.totals(),
-            baseline_comm: self.baseline_stats.totals(),
-            resident_triangles: self.resident_triangles,
-            updates_applied: self.metrics.updates_applied,
-            edges_inserted: self.metrics.edges_inserted,
-            edges_deleted: self.metrics.edges_deleted,
-            update_noops: self.metrics.update_noops,
-            compactions: self.metrics.compactions,
+            setup_comm: inner.setup_stats.totals(),
+            baseline_comm: inner.baseline_stats.totals(),
+            resident_triangles: tip.triangles,
+            updates_applied: m.updates_applied,
+            edges_inserted: m.edges_inserted,
+            edges_deleted: m.edges_deleted,
+            update_noops: m.update_noops,
+            compactions: m.compactions,
             overlay_entries: self.overlay_entries(),
-            update_comm: self.metrics.update_comm,
-            compaction_comm: self.metrics.compaction_comm,
-            update_modeled_seconds: self.metrics.update_modeled_seconds,
-            update_wall_seconds: self.metrics.update_wall_seconds,
-            query_comm: self.metrics.query_comm,
-            query_preprocessing_comm: self.metrics.query_preprocessing_comm,
-            modeled_seconds_total: self.metrics.modeled_seconds_total,
-            wall_seconds_total: self.metrics.wall_seconds_total,
+            epochs_live: epochs.live,
+            epochs_retired: epochs.retired,
+            readers_pinned: epochs.readers_pinned,
+            epoch_lifetime: inner.epochs.lifetime_summary(),
+            update_comm: m.update_comm,
+            compaction_comm: m.compaction_comm,
+            update_modeled_seconds: m.update_modeled_seconds,
+            update_wall_seconds: m.update_wall_seconds,
+            query_comm: m.query_comm,
+            query_preprocessing_comm: m.query_preprocessing_comm,
+            modeled_seconds_total: m.modeled_seconds_total,
+            wall_seconds_total: m.wall_seconds_total,
             profiled_runs: {
-                let boot = [&self.setup_stats, &self.baseline_stats]
+                let boot = [&inner.setup_stats, &inner.baseline_stats]
                     .iter()
                     .filter(|s| s.contention.is_some())
                     .count() as u64;
-                self.metrics.profiled_runs + boot
+                m.profiled_runs + boot
             },
-            lock_wait_seconds_total: self.metrics.lock_wait_seconds_total
-                + self.boot_contention(tricount_comm::ContentionSummary::lock_wait_seconds),
-            barrier_spin_seconds_total: self.metrics.barrier_spin_seconds_total
-                + self.boot_contention(tricount_comm::ContentionSummary::barrier_spin_seconds),
-            wall_events_dropped: self.metrics.wall_events_dropped
-                + [&self.setup_stats, &self.baseline_stats]
+            lock_wait_seconds_total: m.lock_wait_seconds_total
+                + inner.boot_contention(tricount_comm::ContentionSummary::lock_wait_seconds),
+            barrier_spin_seconds_total: m.barrier_spin_seconds_total
+                + inner.boot_contention(tricount_comm::ContentionSummary::barrier_spin_seconds),
+            wall_events_dropped: m.wall_events_dropped
+                + [&inner.setup_stats, &inner.baseline_stats]
                     .iter()
                     .filter_map(|s| s.contention.as_ref())
                     .map(|c| c.events_dropped)
                     .sum::<u64>(),
-            queue_wait: self.metrics.queue_wait.summary_seconds(),
-            run_wall: self.metrics.run_wall.summary_seconds(),
-            run_modeled: self.metrics.run_modeled.summary_seconds(),
-            pool: self.metrics.pool_workers.clone(),
-            spans: self.metrics.spans.clone(),
-            per_query: self.metrics.per_query.clone(),
-            kernel_dispatch: self.metrics.kernel_dispatch.clone(),
-            adj_cache_enabled: self.cfg.dist.cache.enabled,
-            query_adjacency: self.metrics.query_adjacency,
-            update_adjacency: self.metrics.update_adjacency,
+            queue_wait: m.queue_wait.summary_seconds(),
+            run_wall: m.run_wall.summary_seconds(),
+            run_modeled: m.run_modeled.summary_seconds(),
+            pool: m.pool_workers.clone(),
+            spans: m.spans.clone(),
+            per_query: m.per_query.clone(),
+            kernel_dispatch: m.kernel_dispatch.clone(),
+            adj_cache_enabled: inner.cfg.dist.cache.enabled,
+            query_adjacency: m.query_adjacency,
+            update_adjacency: m.update_adjacency,
             adj_cache_entries,
             adj_cache_resident_words,
         }
@@ -979,115 +1147,150 @@ impl Engine {
     /// per-worker pool counters. Suitable for `serve --metrics-out` or a
     /// scrape endpoint.
     pub fn prometheus(&self) -> String {
-        let m = &self.metrics;
+        let inner = &self.inner;
+        let snapshot = self.stats();
+        let (queue_wait, run_wall, run_modeled, depth_at_submit, batch_sizes) = {
+            let m = inner.metrics.lock().expect("metrics lock");
+            (
+                m.queue_wait.clone(),
+                m.run_wall.clone(),
+                m.run_modeled.clone(),
+                m.queue_depth_at_submit.clone(),
+                m.batch_sizes.clone(),
+            )
+        };
+        let epoch_lifetime = inner.epochs.lifetime_histogram();
         let mut reg = MetricsRegistry::new();
         reg.counter(
             "tricount_engine_submitted_total",
             "Queries accepted by admission control",
-            m.submitted,
+            snapshot.submitted,
         );
         reg.counter(
             "tricount_engine_rejected_total",
             "Submissions rejected by admission control",
-            m.rejected,
+            snapshot.rejected,
         );
         reg.counter(
             "tricount_engine_answered_total",
             "Queries answered (including failures)",
-            m.answered,
+            snapshot.answered,
         );
         reg.counter(
             "tricount_engine_cache_hits_total",
             "Answers served from the result cache",
-            m.cache_hits,
+            snapshot.cache_hits,
         );
         reg.counter(
             "tricount_engine_cache_misses_total",
             "Answers that required a distributed run",
-            m.cache_misses,
+            snapshot.cache_misses,
         );
-        reg.counter("tricount_engine_batches_total", "Ticks executed", m.batches);
+        reg.counter(
+            "tricount_engine_batches_total",
+            "Ticks executed",
+            snapshot.batches,
+        );
         reg.counter(
             "tricount_engine_updates_applied_total",
             "Edge-update batches applied",
-            m.updates_applied,
+            snapshot.updates_applied,
         );
         reg.counter(
             "tricount_engine_edges_inserted_total",
             "Effective edge insertions applied",
-            m.edges_inserted,
+            snapshot.edges_inserted,
         );
         reg.counter(
             "tricount_engine_edges_deleted_total",
             "Effective edge deletions applied",
-            m.edges_deleted,
+            snapshot.edges_deleted,
         );
         reg.counter(
             "tricount_engine_update_noops_total",
             "Update operations that were no-ops against the live graph",
-            m.update_noops,
+            snapshot.update_noops,
         );
         reg.counter(
             "tricount_engine_compactions_total",
-            "Overlay compactions performed",
-            m.compactions,
+            "Overlay folds performed (threshold-triggered or lazy seals)",
+            snapshot.compactions,
         );
         reg.gauge(
             "tricount_engine_resident_triangles",
             "Incrementally maintained global triangle count",
-            self.resident_triangles as f64,
+            snapshot.resident_triangles as f64,
         );
         reg.gauge(
             "tricount_engine_overlay_entries",
-            "Summed per-rank overlay entries awaiting compaction",
-            self.overlay_entries() as f64,
+            "Summed per-rank overlay entries awaiting a fold",
+            snapshot.overlay_entries as f64,
         );
         reg.gauge(
             "tricount_engine_queue_depth",
             "Queries waiting in the admission queue",
-            self.pending.len() as f64,
+            snapshot.queue_depth as f64,
         );
         reg.gauge(
             "tricount_engine_cache_entries",
             "Live entries in the result cache",
-            self.cache.len() as f64,
+            snapshot.cache_entries as f64,
         );
         reg.gauge(
             "tricount_engine_epoch",
             "Current graph epoch",
-            self.epoch as f64,
+            snapshot.epoch as f64,
+        );
+        reg.gauge(
+            "tricount_engine_epochs_live",
+            "Epoch snapshots alive (current + reader-pinned history)",
+            snapshot.epochs_live as f64,
+        );
+        reg.counter(
+            "tricount_engine_epochs_retired_total",
+            "Superseded epochs freed after their last reader drained",
+            snapshot.epochs_retired,
+        );
+        reg.gauge(
+            "tricount_engine_readers_pinned",
+            "Queries currently pinning an epoch snapshot",
+            snapshot.readers_pinned as f64,
+        );
+        reg.histogram_seconds(
+            "tricount_engine_epoch_lifetime_seconds",
+            "Lifetime of retired epochs (publish to retire)",
+            &epoch_lifetime,
         );
         reg.gauge(
             "tricount_engine_num_ranks",
             "PEs the resident graph is partitioned over",
-            self.cfg.num_ranks as f64,
+            snapshot.num_ranks as f64,
         );
         reg.histogram_seconds(
             "tricount_engine_queue_wait_seconds",
             "Queue-wait latency (submit to the tick that drained it)",
-            &m.queue_wait,
+            &queue_wait,
         );
         reg.histogram_seconds(
             "tricount_engine_run_wall_seconds",
             "Wall latency of executed distributed runs",
-            &m.run_wall,
+            &run_wall,
         );
         reg.histogram_seconds(
             "tricount_engine_run_modeled_seconds",
             "Modeled latency of executed distributed runs",
-            &m.run_modeled,
+            &run_modeled,
         );
         reg.histogram_units(
             "tricount_engine_queue_depth_at_submit",
             "Queue depth observed by each accepted submission",
-            &m.queue_depth_at_submit,
+            &depth_at_submit,
         );
         reg.histogram_units(
             "tricount_engine_batch_size",
             "Tickets drained per tick",
-            &m.batch_sizes,
+            &batch_sizes,
         );
-        let snapshot = self.stats();
         if snapshot.profiled_runs > 0 {
             reg.counter(
                 "tricount_engine_profiled_runs_total",
@@ -1111,8 +1314,8 @@ impl Engine {
             );
         }
         for (path, report) in [
-            ("query", &m.query_adjacency),
-            ("update", &m.update_adjacency),
+            ("query", &snapshot.query_adjacency),
+            ("update", &snapshot.update_adjacency),
         ] {
             let path_label = [("path", path.to_string())];
             reg.counter_with(
@@ -1165,7 +1368,7 @@ impl Engine {
             );
         }
         {
-            let (entries, words) = self.adj_cache_usage();
+            let (entries, words) = inner.adj_cache_usage();
             reg.gauge(
                 "tricount_cache_entries",
                 "Held remote-adjacency entries resident across PE caches",
@@ -1177,7 +1380,7 @@ impl Engine {
                 words as f64,
             );
         }
-        for (phase, counters) in &m.kernel_dispatch.phases {
+        for (phase, counters) in &snapshot.kernel_dispatch.phases {
             for (kernel, n) in counters.named() {
                 reg.counter_with(
                     "tricount_kernel_dispatch_total",
@@ -1187,7 +1390,7 @@ impl Engine {
                 );
             }
         }
-        for (i, w) in m.pool_workers.iter().enumerate() {
+        for (i, w) in snapshot.pool.iter().enumerate() {
             let worker = [("worker", i.to_string())];
             reg.counter_with(
                 "tricount_engine_pool_executed_total",
@@ -1209,6 +1412,241 @@ impl Engine {
             );
         }
         reg.render()
+    }
+}
+
+impl EngineInner {
+    /// Wall nanoseconds since the engine was built.
+    #[inline]
+    fn now_nanos(&self) -> u64 {
+        self.born.elapsed().as_nanos() as u64
+    }
+
+    /// The options every serving-path distributed run executes under.
+    fn run_opts(&self) -> SimOptions {
+        SimOptions {
+            transport: self.cfg.dist.transport,
+            timing: self.cfg.timing,
+            record_trace: false,
+            perturb_seed: self.cfg.perturb_seed,
+            wall_profile: self.cfg.wall_profile,
+            ..SimOptions::default()
+        }
+    }
+
+    /// Cold per-PE adjacency caches under the configured budget (and the
+    /// §IV-A memory bound, when `dist.memory_limit_words` caps it).
+    fn fresh_caches(cfg: &EngineConfig) -> Vec<RankCache> {
+        (0..cfg.num_ranks)
+            .map(|_| RankCache::new(cfg.dist.cache, cfg.num_ranks, cfg.dist.memory_limit_words))
+            .collect()
+    }
+
+    fn adj_lock(&self) -> MutexGuard<'_, AdjState> {
+        self.adj.lock().expect("adjacency lock")
+    }
+
+    /// Opens the session a query run uses on rank `rank`: a read session
+    /// over the shared snapshot when the cache serves this epoch, a
+    /// metering-only session otherwise (so the adjacency/collective comm
+    /// split is observable either way).
+    fn query_session<'c>(caches: &'c [RankCache], enabled: bool, rank: usize) -> CacheSession<'c> {
+        if enabled {
+            CacheSession::read(&caches[rank])
+        } else {
+            CacheSession::metered()
+        }
+    }
+
+    /// Commits one query run's per-rank session logs into the resident
+    /// caches (rank order within the run; runs commit in job order) —
+    /// unless `want` is off (metered run, or a job pinned off the cache's
+    /// epoch) or the contents moved since the run captured them (the
+    /// version guard: committing then would graft pre-update adjacency
+    /// onto post-update contents). Session metering is absorbed either
+    /// way. Returns whether logs were committed.
+    fn commit_query_outcomes(
+        &self,
+        m: &mut Metrics,
+        outcomes: Vec<CacheRunOutcome>,
+        want: bool,
+        version: u64,
+    ) -> bool {
+        let mut committed = false;
+        if want && !outcomes.is_empty() {
+            let mut a = self.adj_lock();
+            if a.version == version {
+                let caches = Arc::make_mut(&mut a.caches);
+                for (rank, o) in outcomes.iter().enumerate() {
+                    let evicted = caches[rank].commit(&o.log);
+                    m.query_adjacency.evictions += evicted;
+                }
+                committed = true;
+            }
+        }
+        for o in &outcomes {
+            m.query_adjacency.absorb(&o.report);
+        }
+        committed
+    }
+
+    /// Current totals of the per-PE adjacency caches: (held entries,
+    /// resident words).
+    fn adj_cache_usage(&self) -> (u64, u64) {
+        let a = self.adj_lock();
+        a.caches.iter().fold((0, 0), |(e, w), c| {
+            (e + c.held_entries(), w + c.resident_words())
+        })
+    }
+
+    /// Installs the update run's cache cells as the shared contents,
+    /// bumping the version (dropping racing reader logs) and tagging the
+    /// epoch they are coherent with.
+    fn install_cache_cells(&self, cells: &Arc<Vec<Mutex<RankCache>>>, epoch: u64) {
+        let contents: Vec<RankCache> = cells
+            .iter()
+            .map(|c| c.lock().expect("cache cell").clone())
+            .collect();
+        let mut a = self.adj_lock();
+        a.caches = Arc::new(contents);
+        a.version += 1;
+        a.epoch = epoch;
+    }
+
+    /// Publishes the update's result as epoch `next_epoch`, prunes
+    /// result-cache entries of epochs retired by the publication, and
+    /// installs the written adjacency caches tagged to the new epoch.
+    fn publish_update(
+        &self,
+        next_epoch: u64,
+        ranks: Arc<Vec<PreparedRank>>,
+        overlay: Vec<Overlay>,
+        degrees: &[u64],
+        triangles: u64,
+        cache_cells: &Arc<Vec<Mutex<RankCache>>>,
+    ) {
+        let snap = EpochSnapshot::new(
+            next_epoch,
+            ranks,
+            Arc::new(overlay),
+            Arc::new(degrees.to_vec()),
+            triangles,
+        );
+        let retired = self.epochs.publish(snap);
+        self.prune_results(&retired);
+        self.install_cache_cells(cache_cells, next_epoch);
+    }
+
+    /// Drops result-cache entries keyed by retired epochs.
+    fn prune_results(&self, retired: &[u64]) {
+        if retired.is_empty() {
+            return;
+        }
+        let mut results = self.results.lock().expect("results lock");
+        results.retain(|(e, _), _| !retired.contains(e));
+    }
+
+    /// Drops one reader pin and prunes the results of any epoch that
+    /// retired with it.
+    fn release_pin(&self, epoch: u64) {
+        let retired = self.epochs.unpin(epoch);
+        self.prune_results(&retired);
+    }
+
+    /// Fails an entire drained batch with `e` (sealing failed — the
+    /// distributed fold was watchdog-killed), releasing every pin.
+    fn fail_batch(
+        &self,
+        keyed: Vec<(Ticket, Result<QueryKey, EngineError>)>,
+        e: EngineError,
+    ) -> Vec<(TicketId, u64, Result<QueryAnswer, EngineError>)> {
+        let mut out = Vec::with_capacity(keyed.len());
+        for (t, _) in keyed {
+            let epoch = t.snapshot.epoch;
+            let id = t.id;
+            drop(t);
+            self.release_pin(epoch);
+            out.push((id, epoch, Err(e.clone())));
+        }
+        out
+    }
+
+    /// Prepared state serving `snap`: the bases when clean, the memoized
+    /// seal when present, otherwise folds the frozen overlay now (exactly
+    /// once per snapshot — concurrent callers block on the seal lock and
+    /// reuse the result). A fresh fold counts as a compaction, records a
+    /// "seal" span, and — when it re-prepared the state the adjacency
+    /// cache serves — flushes generation-stale cache entries.
+    fn serving_ranks(
+        &self,
+        snap: &Arc<EpochSnapshot>,
+        batch_index: u64,
+    ) -> Result<Arc<Vec<PreparedRank>>, EngineError> {
+        if let Some(ready) = snap.serving_if_ready() {
+            return Ok(ready);
+        }
+        let begin = self.now_nanos();
+        let (serving, sealed_now) =
+            snap.seal(|ranks, overlays| self.fold_overlays(ranks, overlays))?;
+        if sealed_now {
+            if self.cfg.dist.cache.enabled {
+                let mut a = self.adj_lock();
+                if a.epoch == snap.epoch {
+                    let generation = serving[0].generation;
+                    let caches = Arc::make_mut(&mut a.caches);
+                    for c in caches.iter_mut() {
+                        c.set_generation(generation);
+                    }
+                    a.version += 1;
+                }
+            }
+            let mut m = self.metrics.lock().expect("metrics lock");
+            m.compactions += 1;
+            let end = self.now_nanos();
+            m.spans.push(EngineSpan {
+                label: "seal",
+                batch: batch_index,
+                begin_nanos: begin,
+                end_nanos: end,
+            });
+        }
+        Ok(serving)
+    }
+
+    /// Folds every rank's overlay into fresh prepared state: merge the
+    /// delta lists into a new base, re-orient, re-contract. No
+    /// communication — the update protocol kept ghost degrees current for
+    /// every touched vertex. The inputs are owned/shared copies; no
+    /// published state is mutated.
+    fn fold_overlays(
+        &self,
+        ranks: Arc<Vec<PreparedRank>>,
+        overlays: Vec<Overlay>,
+    ) -> Result<Vec<PreparedRank>, EngineError> {
+        let p = self.cfg.num_ranks;
+        let opts = self.run_opts();
+        let cells: Arc<Vec<Mutex<Overlay>>> =
+            Arc::new(overlays.into_iter().map(Mutex::new).collect());
+        let dist = self.cfg.dist;
+        let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
+            let mut ov = cells[ctx.rank()].lock().expect("overlay lock");
+            delta_dist::compact_rank(ctx, &ranks[ctx.rank()], &mut ov, &dist)
+        })
+        .map_err(DistError::from)?;
+        let mut m = self.metrics.lock().expect("metrics lock");
+        m.absorb_contention(&out.output.stats);
+        m.compaction_comm.absorb(&out.output.stats.totals());
+        Ok(out.output.results)
+    }
+
+    /// Folds a contention accessor over the setup and baseline runs (the
+    /// two runs metered before `Metrics` accumulates anything).
+    fn boot_contention(&self, f: impl Fn(&tricount_comm::ContentionSummary) -> f64) -> f64 {
+        [&self.setup_stats, &self.baseline_stats]
+            .iter()
+            .filter_map(|s| s.contention.as_ref())
+            .map(f)
+            .sum()
     }
 
     /// Normalises a query to its cache key, validating vertex ids.
@@ -1247,15 +1685,19 @@ impl Engine {
         }
     }
 
-    /// Executes one cache key as a guarded distributed run against the
-    /// resident state. Returns the value, the run's statistics, its wall
-    /// time, the per-rank kernel-dispatch tallies folded in rank order, and
-    /// the per-rank adjacency-cache run outcomes (logs awaiting the
-    /// post-tick commit, plus metering).
+    /// Executes one (epoch, key) job as a guarded distributed run against
+    /// the pinned snapshot's serving state. Returns the value, the run's
+    /// statistics, its wall time, the per-rank kernel-dispatch tallies
+    /// folded in rank order, and the per-rank adjacency-cache run outcomes
+    /// (logs awaiting the post-tick commit, plus metering).
     #[allow(clippy::type_complexity)]
     fn compute(
         &self,
+        snap: &EpochSnapshot,
+        serving: &Arc<Vec<PreparedRank>>,
         key: &QueryKey,
+        caches: &Arc<Vec<RankCache>>,
+        enabled: bool,
     ) -> Result<
         (
             CachedValue,
@@ -1267,16 +1709,8 @@ impl Engine {
         EngineError,
     > {
         let p = self.cfg.num_ranks;
-        let opts = SimOptions {
-            transport: self.cfg.dist.transport,
-            timing: self.cfg.timing,
-            record_trace: false,
-            perturb_seed: self.cfg.perturb_seed,
-            wall_profile: self.cfg.wall_profile,
-            ..SimOptions::default()
-        };
-        let enabled = self.cfg.dist.cache.enabled;
-        let caches = self.adj_caches.clone();
+        let opts = self.run_opts();
+        let caches = caches.clone();
         let started = Instant::now();
         match key {
             QueryKey::Global(idx) => {
@@ -1287,7 +1721,7 @@ impl Engine {
                 let mut cfg = alg.config();
                 cfg.kernels = self.cfg.dist.kernels;
                 cfg.cache = self.cfg.dist.cache;
-                let ranks = self.ranks.clone();
+                let ranks = serving.clone();
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
                     let mut session = Self::query_session(&caches, enabled, ctx.rank());
                     let r = exec_global(ctx, &ranks[ctx.rank()], alg, &cfg, &mut session);
@@ -1315,7 +1749,7 @@ impl Engine {
                 ))
             }
             QueryKey::LccFull => {
-                let ranks = self.ranks.clone();
+                let ranks = serving.clone();
                 let cfg = self.cfg.dist;
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
                     let mut session = Self::query_session(&caches, enabled, ctx.rank());
@@ -1324,7 +1758,7 @@ impl Engine {
                 })
                 .map_err(DistError::from)?;
                 let wall = started.elapsed().as_secs_f64();
-                let mut per_vertex = Vec::with_capacity(self.degrees.len());
+                let mut per_vertex = Vec::with_capacity(snap.degrees.len());
                 let mut report = DispatchReport::new();
                 let mut outcomes = Vec::with_capacity(p);
                 for ((owned, d), o) in out.output.results {
@@ -1332,7 +1766,7 @@ impl Engine {
                     report.absorb(&d);
                     outcomes.push(o);
                 }
-                let full = lcc::normalize_lcc(&per_vertex, &self.degrees);
+                let full = lcc::normalize_lcc(&per_vertex, &snap.degrees);
                 Ok((
                     CachedValue::LccFull(full),
                     out.output.stats,
@@ -1342,7 +1776,7 @@ impl Engine {
                 ))
             }
             QueryKey::Support(edges) => {
-                let ranks = self.ranks.clone();
+                let ranks = serving.clone();
                 let cfg = self.cfg.dist;
                 let edges = Arc::new(edges.clone());
                 let out = run_guarded(p, &opts, self.cfg.watchdog, move |ctx: &mut Ctx| {
@@ -1377,7 +1811,7 @@ impl Engine {
                 ))
             }
             QueryKey::Approx(bits) => {
-                let ranks = self.ranks.clone();
+                let ranks = serving.clone();
                 let cfg = self.cfg.dist;
                 let acfg = ApproxConfig {
                     bits_per_key: *bits as f64,
@@ -1400,7 +1834,7 @@ impl Engine {
                     CachedValue::Approx(exact as f64 + corrected, *bits as f64),
                     out.output.stats,
                     wall,
-                    DispatchReport::new(),
+                    report_empty(),
                     // The sketch exchange ships filters, not adjacency
                     // lists — nothing for the cache.
                     Vec::new(),
@@ -1408,6 +1842,10 @@ impl Engine {
             }
         }
     }
+}
+
+fn report_empty() -> DispatchReport {
+    DispatchReport::new()
 }
 
 /// One rank's program for a global-count query: the contraction variants

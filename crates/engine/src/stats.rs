@@ -27,13 +27,14 @@ pub struct QueryRecord {
 }
 
 /// One engine lifecycle span: a tick stage (`admit` → `run` → `answer` →
-/// `cache_commit`, under an enclosing `batch`) or a graph-mutation stage
+/// `cache_commit`, under an enclosing `batch`, plus `seal` when a tick
+/// lazily folded a dirty pinned snapshot) or a graph-mutation stage
 /// (`update`, `compaction`), in wall nanoseconds since the engine was
 /// built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineSpan {
     /// Stage label: "batch", "admit", "run", "answer", "cache_commit",
-    /// "update" or "compaction".
+    /// "seal", "update" or "compaction".
     pub label: &'static str,
     /// Tick index the span belongs to (0-based).
     pub batch: u64,
@@ -93,6 +94,17 @@ pub struct EngineStats {
     pub compactions: u64,
     /// Summed per-rank overlay entries right now (0 when clean).
     pub overlay_entries: u64,
+    /// Epoch snapshots alive right now (the current epoch plus every
+    /// superseded epoch still pinned by an admitted reader).
+    pub epochs_live: u64,
+    /// Superseded epochs retired (freed after their last reader drained)
+    /// since the engine was built.
+    pub epochs_retired: u64,
+    /// Queries currently pinning an epoch snapshot (admitted, not yet
+    /// answered).
+    pub readers_pinned: u64,
+    /// Lifetime distribution of retired epochs (publish → retire).
+    pub epoch_lifetime: Summary,
     /// Communication totals over every update run (route + count +
     /// ghost refresh).
     pub update_comm: Counters,
@@ -204,6 +216,14 @@ impl EngineStats {
         push_field(&mut s, "update_noops", &self.update_noops.to_string());
         push_field(&mut s, "compactions", &self.compactions.to_string());
         push_field(&mut s, "overlay_entries", &self.overlay_entries.to_string());
+        push_field(&mut s, "epochs_live", &self.epochs_live.to_string());
+        push_field(&mut s, "epochs_retired", &self.epochs_retired.to_string());
+        push_field(&mut s, "readers_pinned", &self.readers_pinned.to_string());
+        push_field(
+            &mut s,
+            "epoch_lifetime",
+            &summary_json(&self.epoch_lifetime),
+        );
         push_field(&mut s, "update_comm", &counters_json(&self.update_comm));
         push_field(
             &mut s,
@@ -433,6 +453,10 @@ mod tests {
             update_noops: 1,
             compactions: 1,
             overlay_entries: 0,
+            epochs_live: 1,
+            epochs_retired: 2,
+            readers_pinned: 0,
+            epoch_lifetime: Summary::default(),
             update_comm: Counters::default(),
             compaction_comm: Counters::default(),
             update_modeled_seconds: 0.01,

@@ -36,7 +36,7 @@ fn vertex_lcc_bitmatches_sequential_reference() {
         let all: Vec<u64> = (0..g.num_vertices()).collect();
         for p in [1usize, 2, 4] {
             for cfg in configs {
-                let mut e = engine_for(&g, p, cfg);
+                let e = engine_for(&g, p, cfg);
                 match e.query(Query::VertexLcc {
                     vertices: all.clone(),
                 }) {
@@ -82,7 +82,7 @@ fn global_counts_match_oneshot_drivers() {
     let g = tricount_gen::rgg2d_default(300, 5);
     let p = 4;
     let expected = seq::compact_forward(&g).triangles;
-    let mut e = engine_for(&g, p, Algorithm::Cetric.config());
+    let e = engine_for(&g, p, Algorithm::Cetric.config());
     for alg in Algorithm::all() {
         let oneshot = count(&g, p, alg).unwrap().triangles;
         assert_eq!(oneshot, expected, "{}", alg.name());
@@ -105,7 +105,7 @@ fn edge_support_matches_intersections() {
             }
         }
     }
-    let mut e = engine_for(&g, 3, Algorithm::Cetric.config());
+    let e = engine_for(&g, 3, Algorithm::Cetric.config());
     match e.query(Query::EdgeSupport {
         edges: edges.clone(),
     }) {
@@ -125,7 +125,7 @@ fn edge_support_matches_intersections() {
 fn approx_answers_are_sane() {
     let g = tricount_gen::rgg2d_default(400, 5);
     let exact = seq::compact_forward(&g).triangles as f64;
-    let mut e = engine_for(&g, 4, Algorithm::Cetric.config());
+    let e = engine_for(&g, 4, Algorithm::Cetric.config());
     let mut last_bits = 0.0;
     for target in [0.5, 0.05, 0.005] {
         match e.query(Query::ApproxTriangles {

@@ -69,7 +69,7 @@ proptest! {
         let edited = apply_to_csr(&g, &clamped.canonicalize());
         let expected = seq::compact_forward(&edited).triangles;
         for p in [1usize, 4, 9] {
-            let mut e = engine_for(&g, p);
+            let e = engine_for(&g, p);
             let before = e.resident_triangles();
             prop_assert_eq!(before, seq::compact_forward(&g).triangles, "baseline, p {}", p);
             let receipt = e.apply_updates(&clamped).expect("in-range batch");
@@ -91,7 +91,7 @@ fn chained_batches_track_evolving_graph() {
     let mut g = tricount_gen::rgg2d_default(200, 11);
     let mut cfg = EngineConfig::new(4);
     cfg.compaction_fraction = 0.001; // compact eagerly
-    let mut e = Engine::build(&g, cfg);
+    let e = Engine::build(&g, cfg);
     let mut compactions = 0;
     for round in 0..6u64 {
         let batch = random_batch(&g, 12, 1000 + round);
@@ -179,7 +179,7 @@ fn update_protocol_is_schedule_independent() {
 #[test]
 fn small_batch_comm_is_under_a_tenth_of_rebuild() {
     let g = tricount_gen::rgg2d_default(2000, 21);
-    let mut e = engine_for(&g, 4);
+    let e = engine_for(&g, 4);
     let build_totals = {
         let s = e.setup_stats().totals();
         let b = e.baseline_stats().totals();
@@ -200,7 +200,7 @@ fn small_batch_comm_is_under_a_tenth_of_rebuild() {
 #[test]
 fn degenerate_batches_and_validation() {
     let g = tricount_gen::rgg2d_default(100, 2);
-    let mut e = engine_for(&g, 2);
+    let e = engine_for(&g, 2);
     let epoch = e.epoch();
 
     let receipt = e.apply_updates(&UpdateBatch::new()).expect("empty is fine");
@@ -256,7 +256,7 @@ fn sim_entry_matches_engine_path() {
     let (outcomes, _, _) =
         delta_dist::apply_batch_sim(&ranks, &overlays, &canonical, &cfg, &SimOptions::default());
 
-    let mut e = engine_for(&g, p);
+    let e = engine_for(&g, p);
     let receipt = e.apply_updates(&batch).expect("valid batch");
     assert_eq!(outcomes[0].inserted, receipt.inserted);
     assert_eq!(outcomes[0].deleted, receipt.deleted);

@@ -12,7 +12,7 @@ fn small_engine(p: usize) -> Engine {
 
 #[test]
 fn per_query_records_carry_queue_wait() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     e.submit(Query::GlobalTriangles {
         algorithm: Algorithm::Cetric,
     })
@@ -38,7 +38,7 @@ fn per_query_records_carry_queue_wait() {
 
 #[test]
 fn pool_stats_accumulate_across_ticks() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     for _ in 0..2 {
         e.submit(Query::GlobalTriangles {
             algorithm: Algorithm::Cetric,
@@ -64,7 +64,7 @@ fn pool_stats_accumulate_across_ticks() {
 
 #[test]
 fn lifecycle_spans_cover_every_tick() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     e.submit(Query::GlobalTriangles {
         algorithm: Algorithm::Cetric,
     })
@@ -93,7 +93,7 @@ fn lifecycle_spans_cover_every_tick() {
 
 #[test]
 fn prometheus_exposition_parses_and_carries_quantiles() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     let q = Query::GlobalTriangles {
         algorithm: Algorithm::Cetric,
     };
@@ -130,6 +130,70 @@ fn prometheus_exposition_parses_and_carries_quantiles() {
     );
 }
 
+/// Epoch-lifecycle observability round-trip: the MVCC gauges appear in
+/// `EngineStats`, its JSON, and the parsed Prometheus exposition, and
+/// they move when an epoch is published and retired.
+#[test]
+fn epoch_lifecycle_metrics_round_trip() {
+    let e = small_engine(2);
+    // Pin epoch 0, publish epoch 1 underneath it.
+    e.submit(Query::GlobalTriangles {
+        algorithm: Algorithm::Cetric,
+    })
+    .unwrap();
+    e.advance_epoch();
+    let pinned = e.stats();
+    assert_eq!(pinned.epochs_live, 2);
+    assert_eq!(pinned.readers_pinned, 1);
+    assert_eq!(pinned.epochs_retired, 0);
+
+    let text = e.prometheus();
+    let samples = parse_exposition(&text).expect("exposition parses");
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(get("tricount_engine_epochs_live"), 2.0);
+    assert_eq!(get("tricount_engine_readers_pinned"), 1.0);
+    assert_eq!(get("tricount_engine_epochs_retired_total"), 0.0);
+    assert_eq!(get("tricount_engine_epoch_lifetime_seconds_count"), 0.0);
+
+    // Draining the reader retires epoch 0 and records its lifetime.
+    e.tick();
+    let drained = e.stats();
+    assert_eq!(drained.epochs_live, 1);
+    assert_eq!(drained.readers_pinned, 0);
+    assert_eq!(drained.epochs_retired, 1);
+    assert_eq!(drained.epoch_lifetime.count, 1);
+    assert!(drained.epoch_lifetime.max >= 0.0);
+
+    let samples = parse_exposition(&e.prometheus()).expect("exposition parses");
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(get("tricount_engine_epochs_live"), 1.0);
+    assert_eq!(get("tricount_engine_readers_pinned"), 0.0);
+    assert_eq!(get("tricount_engine_epochs_retired_total"), 1.0);
+    assert_eq!(get("tricount_engine_epoch_lifetime_seconds_count"), 1.0);
+
+    let json = drained.to_json();
+    for needle in [
+        "\"epochs_live\":1",
+        "\"epochs_retired\":1",
+        "\"readers_pinned\":0",
+        "\"epoch_lifetime\":{",
+    ] {
+        assert!(json.contains(needle), "stats JSON carries {needle}");
+    }
+}
+
 #[test]
 fn wall_profiled_engine_reports_contention() {
     use tricount_comm::TransportKind;
@@ -138,7 +202,7 @@ fn wall_profiled_engine_reports_contention() {
     // profiling off: nothing is profiled, the snapshot stays silent
     let mut plain_cfg = EngineConfig::new(2);
     plain_cfg.dist.transport = TransportKind::Threads;
-    let mut plain = Engine::build(&g, plain_cfg);
+    let plain = Engine::build(&g, plain_cfg);
     plain
         .submit(Query::GlobalTriangles {
             algorithm: Algorithm::Cetric,
@@ -154,7 +218,7 @@ fn wall_profiled_engine_reports_contention() {
     let mut cfg = EngineConfig::new(2);
     cfg.dist.transport = TransportKind::Threads;
     cfg.wall_profile = true;
-    let mut e = Engine::build(&g, cfg);
+    let e = Engine::build(&g, cfg);
     e.submit(Query::GlobalTriangles {
         algorithm: Algorithm::Cetric,
     })

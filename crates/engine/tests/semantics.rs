@@ -11,7 +11,7 @@ fn small_engine(p: usize) -> Engine {
 
 #[test]
 fn repeated_identical_query_hits_the_cache() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     let q = Query::GlobalTriangles {
         algorithm: Algorithm::Cetric,
     };
@@ -26,7 +26,7 @@ fn repeated_identical_query_hits_the_cache() {
 
 #[test]
 fn advance_epoch_invalidates_the_cache() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     let q = Query::GlobalTriangles {
         algorithm: Algorithm::Cetric,
     };
@@ -47,7 +47,7 @@ fn submission_beyond_queue_capacity_is_rejected() {
     let g = tricount_gen::rgg2d_default(128, 3);
     let mut cfg = EngineConfig::new(2);
     cfg.queue_capacity = 2;
-    let mut e = Engine::build(&g, cfg);
+    let e = Engine::build(&g, cfg);
     let q = Query::GlobalTriangles {
         algorithm: Algorithm::Cetric,
     };
@@ -69,7 +69,7 @@ fn submission_beyond_queue_capacity_is_rejected() {
 
 #[test]
 fn lcc_queries_in_one_batch_share_one_run() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     let t1 = e
         .submit(Query::VertexLcc {
             vertices: vec![0, 1, 2],
@@ -92,7 +92,7 @@ fn lcc_queries_in_one_batch_share_one_run() {
 
 #[test]
 fn unknown_vertices_fail_without_executing() {
-    let mut e = small_engine(2);
+    let e = small_engine(2);
     let n = e.num_vertices();
     match e.query(Query::VertexLcc {
         vertices: vec![n + 5],
@@ -128,7 +128,7 @@ fn batched_results_are_schedule_independent() {
     for seed in [None, Some(1u64), Some(99)] {
         let mut cfg = EngineConfig::new(3);
         cfg.perturb_seed = seed;
-        let mut e = Engine::build(&g, cfg);
+        let e = Engine::build(&g, cfg);
         let answers: Vec<QueryAnswer> = workload
             .iter()
             .map(|q| e.query(q.clone()).unwrap())

@@ -21,7 +21,7 @@ fn main() {
     let p = 4;
     let mut cfg = EngineConfig::new(p);
     cfg.compaction_fraction = 0.05; // fold overlays at 5% of the base
-    let mut engine = Engine::build(&g, cfg);
+    let engine = Engine::build(&g, cfg);
     println!(
         "resident: n = {}, m = {} on {p} PEs, {} triangles",
         g.num_vertices(),

@@ -15,7 +15,7 @@ fn main() {
     // 1. Build the engine: one metered setup run prepares every rank.
     let g = cetric::gen::rgg2d_default(2_000, 42);
     let p = 4;
-    let mut engine = Engine::build(&g, EngineConfig::new(p));
+    let engine = Engine::build(&g, EngineConfig::new(p));
     println!(
         "resident: n = {}, m = {} on {p} PEs ({} setup msgs, {} setup words)",
         g.num_vertices(),
