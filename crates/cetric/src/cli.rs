@@ -1080,9 +1080,14 @@ fn serve_host(
                 query: q.clone(),
             }) {
                 Ok(_) => break,
-                // closed loop: drain under backpressure, resubmit
+                // closed loop: drain under backpressure, resubmit. When
+                // every job is already on a serve worker the queue is
+                // empty and drain() is a no-op — back off instead of
+                // spinning hot until a worker frees budget.
                 Err(HostError::Overloaded { .. }) => {
-                    host.drain();
+                    if host.drain() == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
                 }
                 Err(e) => return Err(e.to_string()),
             }

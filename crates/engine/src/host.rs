@@ -404,31 +404,50 @@ impl EngineHost {
         }
     }
 
-    /// Host-level and per-tenant snapshot.
+    /// Host-level and per-tenant snapshot. The tenants lock is held only
+    /// long enough to copy the host-side counters and clone the engine
+    /// handles; per-engine stats run unlocked, so a slow tenant snapshot
+    /// never blocks submissions to the others.
     pub fn stats(&self) -> HostStats {
         let inner = &self.inner;
-        let tenants = inner.tenants.lock().expect("tenants lock");
-        let per_tenant = tenants
-            .iter()
-            .map(|(name, t)| {
-                let es = t.engine.stats();
-                TenantStats {
-                    tenant: name.clone(),
-                    submitted: t.submitted,
-                    rejected: t.rejected,
-                    answered: t.answered,
-                    updates: t.updates,
-                    inflight: t.inflight,
-                    queue_depth: es.queue_depth,
-                    epoch: es.epoch,
-                    epochs_live: es.epochs_live,
-                    readers_pinned: es.readers_pinned,
-                    resident_triangles: es.resident_triangles,
-                }
+        let snapshot: Vec<(TenantStats, Engine)> = {
+            let tenants = inner.tenants.lock().expect("tenants lock");
+            tenants
+                .iter()
+                .map(|(name, t)| {
+                    (
+                        TenantStats {
+                            tenant: name.clone(),
+                            submitted: t.submitted,
+                            rejected: t.rejected,
+                            answered: t.answered,
+                            updates: t.updates,
+                            inflight: t.inflight,
+                            queue_depth: 0,
+                            epoch: 0,
+                            epochs_live: 0,
+                            readers_pinned: 0,
+                            resident_triangles: 0,
+                        },
+                        t.engine.clone(),
+                    )
+                })
+                .collect()
+        };
+        let per_tenant: Vec<TenantStats> = snapshot
+            .into_iter()
+            .map(|(mut t, engine)| {
+                let es = engine.stats();
+                t.queue_depth = es.queue_depth;
+                t.epoch = es.epoch;
+                t.epochs_live = es.epochs_live;
+                t.readers_pinned = es.readers_pinned;
+                t.resident_triangles = es.resident_triangles;
+                t
             })
             .collect();
         HostStats {
-            tenants: tenants.len(),
+            tenants: per_tenant.len(),
             inflight: inner.inflight.load(Ordering::Relaxed),
             global_inflight: inner.cfg.global_inflight,
             tenant_quota: inner.cfg.tenant_quota,
@@ -597,7 +616,15 @@ impl EngineHost {
                 }
                 drop(tenants);
                 if answered > 0 {
-                    inner.inflight.fetch_sub(answered, Ordering::Relaxed);
+                    // Saturate: a tick can answer tickets submitted
+                    // directly on the tenant engine handle (never
+                    // host-admitted), so a plain fetch_sub could wrap the
+                    // counter and wedge admission at "overloaded" forever.
+                    let _ = inner
+                        .inflight
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                            Some(v.saturating_sub(answered))
+                        });
                 }
                 // A batch bounded by batch_max may leave admitted queries
                 // waiting: keep the tenant scheduled until its queue is dry.

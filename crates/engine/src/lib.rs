@@ -536,15 +536,21 @@ impl Engine {
 
         // Seal every distinct pinned snapshot up front, so all jobs of
         // this tick run against folded serving state and one coherent
-        // adjacency-cache snapshot.
+        // adjacency-cache snapshot. A failed seal (watchdog-killed fold)
+        // fails only the tickets pinned to that epoch — tickets on other
+        // epochs, sealed or already clean, still get answers.
         let mut serving: BTreeMap<u64, Arc<Vec<PreparedRank>>> = BTreeMap::new();
+        let mut seal_failures: BTreeMap<u64, EngineError> = BTreeMap::new();
         for (t, key) in &keyed {
-            if key.is_ok() && !serving.contains_key(&t.snapshot.epoch) {
+            let e = t.snapshot.epoch;
+            if key.is_ok() && !serving.contains_key(&e) && !seal_failures.contains_key(&e) {
                 match inner.serving_ranks(&t.snapshot, batch_index) {
                     Ok(r) => {
-                        serving.insert(t.snapshot.epoch, r);
+                        serving.insert(e, r);
                     }
-                    Err(e) => return inner.fail_batch(keyed, e),
+                    Err(err) => {
+                        seal_failures.insert(e, err);
+                    }
                 }
             }
         }
@@ -565,10 +571,13 @@ impl Engine {
             for (t, key) in &keyed {
                 if let Ok(k) = key {
                     let e = t.snapshot.epoch;
+                    let Some(ranks) = serving.get(&e) else {
+                        continue; // this epoch's seal failed
+                    };
                     if !results.contains_key(&(e, k.clone()))
                         && !jobs.iter().any(|(s, _, jk)| s.epoch == e && jk == k)
                     {
-                        jobs.push((t.snapshot.clone(), serving[&e].clone(), k.clone()));
+                        jobs.push((t.snapshot.clone(), ranks.clone(), k.clone()));
                     }
                 }
             }
@@ -686,7 +695,9 @@ impl Engine {
                 let answer = match key {
                     Err(e) => Err(e),
                     Ok(k) => {
-                        if let Some(e) = failures.get(&(epoch, k.clone())) {
+                        if let Some(e) = seal_failures.get(&epoch) {
+                            Err(e.clone())
+                        } else if let Some(e) = failures.get(&(epoch, k.clone())) {
                             Err(e.clone())
                         } else {
                             match run_costs.remove(&(epoch, k.clone())) {
@@ -1074,6 +1085,13 @@ impl Engine {
         let tip = inner.epochs.current();
         let queue_depth = self.queue_depth();
         let cache_entries = inner.results.lock().expect("results lock").len();
+        // Read before taking the metrics lock: overlay_entries peeks the
+        // tip's sealed mutex, which a lazy seal holds across its fold —
+        // and the fold records into metrics (sealed → metrics). Holding
+        // metrics while touching sealed would invert that order and
+        // deadlock against an in-flight seal.
+        let overlay_entries = self.overlay_entries();
+        let epoch_lifetime = inner.epochs.lifetime_summary();
         let m = inner.metrics.lock().expect("metrics lock");
         EngineStats {
             num_ranks: inner.cfg.num_ranks,
@@ -1096,11 +1114,11 @@ impl Engine {
             edges_deleted: m.edges_deleted,
             update_noops: m.update_noops,
             compactions: m.compactions,
-            overlay_entries: self.overlay_entries(),
+            overlay_entries,
             epochs_live: epochs.live,
             epochs_retired: epochs.retired,
             readers_pinned: epochs.readers_pinned,
-            epoch_lifetime: inner.epochs.lifetime_summary(),
+            epoch_lifetime,
             update_comm: m.update_comm,
             compaction_comm: m.compaction_comm,
             update_modeled_seconds: m.update_modeled_seconds,
@@ -1551,24 +1569,6 @@ impl EngineInner {
     fn release_pin(&self, epoch: u64) {
         let retired = self.epochs.unpin(epoch);
         self.prune_results(&retired);
-    }
-
-    /// Fails an entire drained batch with `e` (sealing failed — the
-    /// distributed fold was watchdog-killed), releasing every pin.
-    fn fail_batch(
-        &self,
-        keyed: Vec<(Ticket, Result<QueryKey, EngineError>)>,
-        e: EngineError,
-    ) -> Vec<(TicketId, u64, Result<QueryAnswer, EngineError>)> {
-        let mut out = Vec::with_capacity(keyed.len());
-        for (t, _) in keyed {
-            let epoch = t.snapshot.epoch;
-            let id = t.id;
-            drop(t);
-            self.release_pin(epoch);
-            out.push((id, epoch, Err(e.clone())));
-        }
-        out
     }
 
     /// Prepared state serving `snap`: the bases when clean, the memoized

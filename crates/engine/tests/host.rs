@@ -205,6 +205,37 @@ fn serve_loop_answers_reads_during_updates() {
     );
 }
 
+/// Regression: queries submitted directly on a tenant engine handle are
+/// answered by host ticks too, so a tick can answer more tickets than the
+/// host admitted. The global in-flight counter must saturate at zero
+/// instead of wrapping to ~u64::MAX — a wrapped counter rejected every
+/// later submission as globally overloaded, permanently.
+#[test]
+fn direct_engine_submits_do_not_wrap_the_global_budget() {
+    let g = tricount_gen::gnm(48, 160, 11);
+    let host = EngineHost::new(HostConfig::new());
+    host.add_tenant("t", &g, EngineConfig::new(2))
+        .expect("fresh name");
+
+    // One ticket the host never admitted, one it did: the host tick
+    // answers both in a single batch.
+    let engine = host.tenant_engine("t").expect("exists");
+    engine
+        .submit(Query::GlobalTriangles {
+            algorithm: Algorithm::Ditric,
+        })
+        .expect("engine admission");
+    host.submit(global("t")).expect("host admission");
+    host.drain();
+
+    let s = host.stats();
+    assert_eq!(s.inflight, 0, "counter saturates instead of wrapping");
+    host.submit(global("t"))
+        .expect("admission still works after over-answering");
+    host.drain();
+    assert_eq!(host.stats().inflight, 0);
+}
+
 /// The host's Prometheus exposition parses and carries per-tenant labels
 /// for the serving counters and the epoch-lifecycle gauges.
 #[test]
